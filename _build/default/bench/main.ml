@@ -1,0 +1,275 @@
+(* Benchmark and regeneration harness.
+
+   Part 1 regenerates every table and figure of the evaluation (the
+   analysis paper's Tables 1 and 2, the fixed-version table, the
+   counterexample Figures 10-13, the component Figures 1-2, the §6.2
+   bound table, and the ICDCS'98 quantitative series), printing the same
+   rows the papers report.
+
+   Part 2 times the kernels behind each experiment with Bechamel — one
+   Test.make per table/figure plus the substrate microbenchmarks. *)
+
+open Bechamel
+module H = Heartbeat
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: regeneration                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let print_table ?(fixed = false) variant =
+  let header =
+    Printf.sprintf "%s%s (n=1)"
+      (H.Ta_models.variant_name variant)
+      (if fixed then " [fixed]" else "")
+  in
+  Format.printf "%a@."
+    (fun ppf -> H.Verify.pp_table ppf ~header)
+    (H.Verify.table ~fixed variant)
+
+let regenerate () =
+  Format.printf "=== Table 1: (revised) binary, two-phase, static ===@.@.";
+  List.iter print_table
+    [ H.Ta_models.Binary; H.Ta_models.Revised; H.Ta_models.Two_phase;
+      H.Ta_models.Static ];
+  Format.printf "@.=== Table 2: expanding, dynamic ===@.@.";
+  List.iter print_table [ H.Ta_models.Expanding; H.Ta_models.Dynamic ];
+  Format.printf "@.=== Section 6: fixed versions ===@.@.";
+  List.iter (print_table ~fixed:true) H.Ta_models.all_variants;
+  Format.printf "@.=== Figures 10-13: counterexamples ===@.@.";
+  List.iter
+    (fun s -> Format.printf "%a@." H.Scenarios.pp s)
+    (H.Scenarios.all ());
+  Format.printf "@.=== Figures 1-2: component state spaces ===@.@.";
+  let p = H.Params.make ~tmin:1 ~tmax:2 () in
+  Format.printf "p[0] with stopwatch (tmax=2, tmin=1): raw %a; reduced %a@."
+    Lts.Graph.pp_stats (H.Figures.p0_component p) Lts.Graph.pp_stats
+    (H.Figures.p0_reduced p);
+  Format.printf "p[1] with watchdog  (tmax=2, tmin=1): raw %a; reduced %a@."
+    Lts.Graph.pp_stats (H.Figures.p1_component p) Lts.Graph.pp_stats
+    (H.Figures.p1_reduced p);
+  Format.printf "@.=== Section 6.2: detection bounds (tmax=10) ===@.@.";
+  Format.printf
+    "tmin  claimed(2*tmax)  corrected  halving-worst  p[i]-tight  join@.";
+  List.iter
+    (fun tmin ->
+      let p = H.Params.make ~tmin ~tmax:10 () in
+      Format.printf "%4d  %15d  %9d  %13d  %10d  %4d@." tmin
+        (H.Bounds.original_p0_claim p)
+        (H.Bounds.p0_detection p)
+        (H.Bounds.p0_detection_exhaustive p)
+        (H.Bounds.pi_waiting p) (H.Bounds.pi_join_waiting p))
+    [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ];
+  Format.printf
+    "@.=== worst-case detection measured on the model (binary) ===@.@.";
+  Format.printf "tmin  analytic  model-measured@.";
+  List.iter
+    (fun (tmin, tmax) ->
+      let p = H.Params.make ~tmin ~tmax () in
+      Format.printf "%4d  %8d  %14d@." tmin
+        (H.Bounds.p0_detection_exhaustive p)
+        (H.Verify.worst_detection H.Ta_models.Binary p))
+    H.Params.table_datasets;
+  Format.printf "@.=== ICDCS'98 quantitative claims (simulation) ===@.@.";
+  let params = H.Params.make ~tmin:2 ~tmax:10 () in
+  Format.printf "steady-state rate (%a):@." H.Params.pp params;
+  List.iter
+    (fun k ->
+      Format.printf "  %a@." H.Experiments.pp_rate
+        (H.Experiments.steady_rate k params))
+    (H.Experiments.default_kinds params);
+  Format.printf "@.detection delay (200 runs):@.";
+  List.iter
+    (fun k ->
+      Format.printf "  %a@." H.Experiments.pp_detection
+        (H.Experiments.detection ~runs:200 k params))
+    (H.Experiments.default_kinds params);
+  Format.printf "@.false deactivations under loss (200 runs each):@.";
+  List.iter
+    (fun loss ->
+      List.iter
+        (fun k ->
+          Format.printf "  %a@." H.Experiments.pp_reliability
+            (H.Experiments.reliability ~runs:200 k params ~loss))
+        (H.Experiments.default_kinds params))
+    [ 0.01; 0.02; 0.05; 0.1; 0.2 ];
+  Format.printf
+    "@.=== ablation: bursty vs independent loss (same 5%% average) ===@.@.";
+  let bursty = Sim.Loss.gilbert ~p_gb:0.01 ~p_bg:0.19 () in
+  List.iter
+    (fun k ->
+      let b =
+        H.Experiments.reliability_model ~runs:200 k params ~model:bursty
+      in
+      let u =
+        H.Experiments.reliability ~runs:200 k params
+          ~loss:(Sim.Loss.expected_loss bursty)
+      in
+      Format.printf
+        "  %-14s bursty %3d/200 false detections, independent %3d/200@."
+        (H.Runtime.kind_name k) b.H.Experiments.false_detections
+        u.H.Experiments.false_detections)
+    (H.Experiments.default_kinds params);
+  Format.printf "@.=== expanding protocol: join latency (tmin=5, tmax=10) ===@.@.";
+  Format.printf "  %a@." H.Experiments.pp_join
+    (H.Experiments.join_latency (H.Params.make ~tmin:5 ~tmax:10 ()));
+  Format.printf
+    "@.=== failure-detector QoS (follow-up work; period 10, 5%% loss) ===@.@.";
+  List.iter
+    (fun probes ->
+      List.iter
+        (fun r -> Format.printf "  %a@." Fd.Qos.pp_tradeoff r)
+        (Fd.Qos.margin_sweep ~runs:40 ~margins:[ 1.0; 4.0 ] ~probes ()))
+    [ 0; 3 ];
+  Format.printf "@.=== ablation: acceleration depth (halving, tmax=10) ===@.@.";
+  List.iter
+    (fun ratio ->
+      let tmin = max 1 (10 / ratio) in
+      let p = H.Params.make ~tmin ~tmax:10 () in
+      let rate = H.Experiments.steady_rate H.Runtime.Halving p in
+      let det = H.Experiments.detection ~runs:100 H.Runtime.Halving p in
+      let rel =
+        H.Experiments.reliability ~runs:100 H.Runtime.Halving p ~loss:0.05
+      in
+      Format.printf
+        "  tmax/tmin=%d: rate %6.4f  mean detection %6.2f (bound %6.2f)  \
+         false rate %4.2f@."
+        ratio rate.H.Experiments.msgs_per_time det.H.Experiments.mean_delay
+        det.H.Experiments.analytic_bound rel.H.Experiments.false_rate)
+    [ 1; 2; 5; 10 ]
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: Bechamel timings                                             *)
+(* ------------------------------------------------------------------ *)
+
+let check variant tmin tmax req () =
+  let params = H.Params.make ~tmin ~tmax () in
+  ignore (H.Verify.check variant params req)
+
+let bench_tests =
+  Test.make_grouped ~name:"hbproto"
+    [
+      (* Table 1 kernels: one representative requirement per protocol. *)
+      Test.make ~name:"table1/binary-R1(4,10)"
+        (Staged.stage (check H.Ta_models.Binary 4 10 H.Requirements.R1));
+      Test.make ~name:"table1/binary-R3(10,10)"
+        (Staged.stage (check H.Ta_models.Binary 10 10 H.Requirements.R3));
+      Test.make ~name:"table1/static-R2(10,10)"
+        (Staged.stage (check H.Ta_models.Static 10 10 H.Requirements.R2));
+      (* Table 2 kernels. *)
+      Test.make ~name:"table2/expanding-R2(5,10)"
+        (Staged.stage (check H.Ta_models.Expanding 5 10 H.Requirements.R2));
+      Test.make ~name:"table2/dynamic-R2(5,10)"
+        (Staged.stage (check H.Ta_models.Dynamic 5 10 H.Requirements.R2));
+      (* Fixed-version kernel. *)
+      Test.make ~name:"fixed/binary-all(10,10)"
+        (Staged.stage (fun () ->
+             let params = H.Params.make ~tmin:10 ~tmax:10 () in
+             List.iter
+               (fun req ->
+                 ignore
+                   (H.Verify.check ~fixed:true H.Ta_models.Binary params req))
+               H.Requirements.all));
+      (* Figures. *)
+      Test.make ~name:"fig10/cex-extraction"
+        (Staged.stage (fun () -> ignore (H.Scenarios.fig10a ())));
+      Test.make ~name:"fig11/cex-extraction"
+        (Staged.stage (fun () -> ignore (H.Scenarios.fig11 ())));
+      Test.make ~name:"fig1/p0-weak-trace-reduction"
+        (Staged.stage (fun () ->
+             ignore (H.Figures.p0_reduced (H.Params.make ~tmin:1 ~tmax:2 ()))));
+      (* Process-algebra encoding. *)
+      Test.make ~name:"pa/binary-statespace(10,10)"
+        (Staged.stage (fun () ->
+             ignore
+               (H.Pa_verify.state_count H.Pa_models.Binary
+                  (H.Params.make ~tmin:10 ~tmax:10 ()))));
+      Test.make ~name:"pa/binary-R2(10,10)"
+        (Staged.stage (fun () ->
+             ignore
+               (H.Pa_verify.check H.Pa_models.Binary
+                  (H.Params.make ~tmin:10 ~tmax:10 ())
+                  H.Requirements.R2)));
+      (* Substrate microbenchmarks. *)
+      Test.make ~name:"ta/statespace-binary(1,10)"
+        (Staged.stage (fun () ->
+             let params = H.Params.make ~tmin:1 ~tmax:10 () in
+             let net =
+               Ta.Semantics.compile
+                 (H.Ta_models.build H.Ta_models.Binary params)
+             in
+             ignore (Mc.Explore.count (Ta.Semantics.system net))));
+      Test.make ~name:"mc/regex-compile-step"
+        (Staged.stage (fun () ->
+             let r =
+               Mc.Regex.(
+                 seq
+                   (star (atom "a" (String.equal "a")))
+                   (repeat (atom "b" (String.equal "b")) 8))
+             in
+             let m = Mc.Regex.compile r in
+             let q = ref m.Mc.Monitor.start in
+             for _ = 1 to 100 do
+               q := m.Mc.Monitor.step !q "a";
+               q := m.Mc.Monitor.step !q "b"
+             done;
+             ignore (m.Mc.Monitor.accepting !q)));
+      Test.make ~name:"lts/minimize-fig-component"
+        (Staged.stage (fun () ->
+             let g =
+               H.Figures.p0_component (H.Params.make ~tmin:1 ~tmax:2 ())
+             in
+             ignore (Lts.Minimize.strong g)));
+      Test.make ~name:"sim/steady-run-1000"
+        (Staged.stage (fun () ->
+             let params = H.Params.make ~tmin:2 ~tmax:10 () in
+             ignore
+               (H.Runtime.run
+                  (H.Runtime.config ~kind:H.Runtime.Halving ~duration:1000.0
+                     params))));
+      Test.make ~name:"fd/qos-run-500tu"
+        (Staged.stage (fun () ->
+             ignore
+               (Fd.Qos.measure
+                  (Fd.Detector.config ~loss:0.05 ~duration:500.0 ()))));
+      Test.make ~name:"sim/heap-10k"
+        (Staged.stage (fun () ->
+             let r = Sim.Rng.create 3L in
+             let h = ref Sim.Heap.empty in
+             for _ = 1 to 10_000 do
+               h := Sim.Heap.insert (Sim.Rng.float r) () !h
+             done;
+             let rec drain h =
+               match Sim.Heap.pop h with None -> () | Some (_, h') -> drain h'
+             in
+             drain !h));
+    ]
+
+let run_benchmarks () =
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 2.0) ~kde:None
+      ~stabilize:false ()
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let raw = Benchmark.all cfg [ instance ] bench_tests in
+  let results =
+    Analyze.all
+      (Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| "run" |])
+      instance raw
+  in
+  Format.printf "@.=== Bechamel timings (monotonic clock) ===@.@.";
+  let rows =
+    Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+  in
+  List.iter
+    (fun (name, ols) ->
+      let ns =
+        match Analyze.OLS.estimates ols with Some (t :: _) -> t | _ -> nan
+      in
+      Format.printf "  %-44s %14.0f ns/run  (%.3f ms)@." name ns (ns /. 1e6))
+    (List.sort compare rows)
+
+let () =
+  let bench_only = Array.exists (String.equal "--bench-only") Sys.argv in
+  let tables_only = Array.exists (String.equal "--tables-only") Sys.argv in
+  if not bench_only then regenerate ();
+  if not tables_only then run_benchmarks ()

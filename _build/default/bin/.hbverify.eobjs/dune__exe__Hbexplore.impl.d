@@ -1,0 +1,1 @@
+bin/hbexplore.ml: Arg Cmd Cmdliner Format Heartbeat List Lts Mc Proc Ta Term

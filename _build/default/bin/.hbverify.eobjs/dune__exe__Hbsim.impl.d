@@ -1,0 +1,1 @@
+bin/hbsim.ml: Arg Cmd Cmdliner Fd Format Heartbeat List Sim Term

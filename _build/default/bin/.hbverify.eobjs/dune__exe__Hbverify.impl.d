@@ -1,0 +1,1 @@
+bin/hbverify.ml: Arg Cmd Cmdliner Format Heartbeat List Option Printf String Term

@@ -1,0 +1,156 @@
+(* hbexplore: state-space statistics and Graphviz export for the formal
+   models. *)
+
+open Cmdliner
+module H = Heartbeat
+
+let variant_conv =
+  let parse s =
+    match
+      List.find_opt
+        (fun v -> H.Ta_models.variant_name v = s)
+        H.Ta_models.all_variants
+    with
+    | Some v -> Ok v
+    | None -> Error (`Msg ("unknown variant " ^ s))
+  in
+  Arg.conv
+    (parse, fun ppf v -> Format.pp_print_string ppf (H.Ta_models.variant_name v))
+
+let variant_arg =
+  Arg.(
+    value
+    & opt variant_conv H.Ta_models.Binary
+    & info [ "v"; "variant" ] ~docv:"VARIANT" ~doc:"Protocol variant.")
+
+let tmin_arg = Arg.(value & opt int 1 & info [ "tmin" ] ~docv:"TMIN" ~doc:"tmin.")
+let tmax_arg = Arg.(value & opt int 10 & info [ "tmax" ] ~docv:"TMAX" ~doc:"tmax.")
+
+let n_arg =
+  Arg.(value & opt int 1 & info [ "n" ] ~docv:"N" ~doc:"Participants.")
+
+let fixed_arg = Arg.(value & flag & info [ "fixed" ] ~doc:"Fixed version.")
+
+let monitors_arg =
+  Arg.(value & flag & info [ "monitors" ] ~doc:"Include the R1 watchdogs.")
+
+let stats_cmd =
+  let run variant tmin tmax n fixed monitors =
+    let params = H.Params.make ~n ~tmin ~tmax () in
+    let model =
+      H.Ta_models.build ~fixed ~with_r1_monitors:monitors variant params
+    in
+    let net = Ta.Semantics.compile model in
+    let space = Mc.Explore.space ~max_states:10_000_000 (Ta.Semantics.system net) in
+    Format.printf "%s%s %a%s: %a (%s)@."
+      (H.Ta_models.variant_name variant)
+      (if fixed then " [fixed]" else "")
+      H.Params.pp params
+      (if monitors then " +monitors" else "")
+      Lts.Graph.pp_stats space.Mc.Explore.lts
+      (if space.Mc.Explore.complete then "complete" else "TRUNCATED")
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Reachable state space of a timed-automata model.")
+    Term.(
+      const run $ variant_arg $ tmin_arg $ tmax_arg $ n_arg $ fixed_arg
+      $ monitors_arg)
+
+let pa_stats_cmd =
+  let run tmin tmax n =
+    let params = H.Params.make ~n ~tmin ~tmax () in
+    List.iter
+      (fun v ->
+        let count = H.Pa_verify.state_count v params in
+        Format.printf "PA %-10s %a: %d states@."
+          (H.Pa_models.variant_name v)
+          H.Params.pp params count)
+      [ H.Pa_models.Binary; H.Pa_models.Revised; H.Pa_models.Two_phase;
+        H.Pa_models.Static; H.Pa_models.Expanding; H.Pa_models.Dynamic ]
+  in
+  Cmd.v
+    (Cmd.info "pa-stats"
+       ~doc:"Reachable state spaces of the process-algebra models.")
+    Term.(const run $ tmin_arg $ tmax_arg $ n_arg)
+
+let dot_cmd =
+  let run which tmin tmax =
+    let params = H.Params.make ~tmin ~tmax () in
+    let lts =
+      match which with
+      | "p0" -> H.Figures.p0_reduced params
+      | "p1" -> H.Figures.p1_reduced params
+      | "p0-raw" -> H.Figures.p0_component params
+      | "p1-raw" -> H.Figures.p1_component params
+      | other -> failwith ("unknown component " ^ other)
+    in
+    let pp_label ppf l =
+      Format.pp_print_string ppf (H.Figures.label_to_string l)
+    in
+    print_string (Lts.Dot.to_string ~name:which ~pp_label lts)
+  in
+  let which_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"COMPONENT"
+          ~doc:"p0 or p1 (reduced, paper Figures 1/2); p0-raw / p1-raw for \
+                the unreduced LTS.")
+  in
+  Cmd.v
+    (Cmd.info "dot"
+       ~doc:"Emit a component state space (paper Figures 1 and 2) as \
+             Graphviz dot.")
+    Term.(const run $ which_arg $ Arg.(value & opt int 1 & info [ "tmin" ])
+          $ Arg.(value & opt int 2 & info [ "tmax" ]))
+
+let export_cmd =
+  let run format variant tmin tmax n fixed =
+    let params = H.Params.make ~n ~tmin ~tmax () in
+    match format with
+    | "xta" ->
+        let model = H.Ta_models.build ~fixed variant params in
+        print_string (Ta.Xta.to_string model)
+    | "mcrl2" -> (
+        match H.Pa_models.of_ta variant with
+        | Some pv -> print_string (Proc.Mcrl2.to_string (H.Pa_models.build pv params))
+        | None -> failwith "no process-algebra encoding for this variant")
+    | other -> failwith ("unknown format " ^ other)
+  in
+  let format_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FORMAT"
+          ~doc:"xta (UPPAAL textual format, from the timed-automata model) \
+                or mcrl2 (from the process-algebra model).")
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Export a protocol model for the UPPAAL or mCRL2 toolsets.")
+    Term.(
+      const run $ format_arg $ variant_arg $ tmin_arg $ tmax_arg $ n_arg
+      $ fixed_arg)
+
+let deadlocks_cmd =
+  let run variant tmin tmax n fixed =
+    let params = H.Params.make ~n ~tmin ~tmax () in
+    let free = H.Verify.deadlock_free ~fixed variant params in
+    Format.printf "%s %a: %s@."
+      (H.Ta_models.variant_name variant)
+      H.Params.pp params
+      (if free then "deadlock-free" else "HAS DEADLOCKS");
+    if not free then exit 1
+  in
+  Cmd.v
+    (Cmd.info "deadlocks" ~doc:"Check a model for deadlocked configurations.")
+    Term.(const run $ variant_arg $ tmin_arg $ tmax_arg $ n_arg $ fixed_arg)
+
+let () =
+  let info =
+    Cmd.info "hbexplore" ~version:"1.0.0"
+      ~doc:"State-space exploration of the heartbeat protocol models."
+  in
+  exit
+    (Cmd.eval (Cmd.group info
+       [ stats_cmd; pa_stats_cmd; dot_cmd; export_cmd; deadlocks_cmd ]))

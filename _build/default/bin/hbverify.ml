@@ -1,0 +1,233 @@
+(* hbverify: model-check the accelerated heartbeat protocols and
+   regenerate the paper's verification tables and counterexamples. *)
+
+open Cmdliner
+module H = Heartbeat
+
+let variant_conv =
+  let parse s =
+    match
+      List.find_opt
+        (fun v -> H.Ta_models.variant_name v = s)
+        H.Ta_models.all_variants
+    with
+    | Some v -> Ok v
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown variant %s (expected one of: %s)" s
+                (String.concat ", "
+                   (List.map H.Ta_models.variant_name H.Ta_models.all_variants))))
+  in
+  Arg.conv (parse, fun ppf v -> Format.pp_print_string ppf (H.Ta_models.variant_name v))
+
+let variant_arg =
+  Arg.(
+    value
+    & opt variant_conv H.Ta_models.Binary
+    & info [ "v"; "variant" ] ~docv:"VARIANT"
+        ~doc:"Protocol variant: binary, revised, two-phase, static, \
+              expanding or dynamic.")
+
+let tmin_arg =
+  Arg.(value & opt int 1 & info [ "tmin" ] ~docv:"TMIN" ~doc:"Lower round bound.")
+
+let tmax_arg =
+  Arg.(value & opt int 10 & info [ "tmax" ] ~docv:"TMAX" ~doc:"Upper round bound.")
+
+let n_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "n" ] ~docv:"N" ~doc:"Number of participants (multi-party variants).")
+
+let fixed_arg =
+  Arg.(
+    value & flag
+    & info [ "fixed" ] ~doc:"Verify the corrected (section-6) version.")
+
+let req_conv =
+  let parse = function
+    | "R1" | "r1" -> Ok H.Requirements.R1
+    | "R2" | "r2" -> Ok H.Requirements.R2
+    | "R3" | "r3" -> Ok H.Requirements.R3
+    | s -> Error (`Msg ("unknown requirement " ^ s))
+  in
+  Arg.conv
+    (parse, fun ppf r -> Format.pp_print_string ppf (H.Requirements.name r))
+
+let print_variant_table ~fixed ~n variant =
+  let rows = H.Verify.table ~fixed ~n variant in
+  let header =
+    Printf.sprintf "%s%s (n=%d)"
+      (H.Ta_models.variant_name variant)
+      (if fixed then " [fixed]" else "")
+      n
+  in
+  Format.printf "%a@." (fun ppf -> H.Verify.pp_table ppf ~header) rows
+
+let table1_cmd =
+  let run () =
+    List.iter
+      (print_variant_table ~fixed:false ~n:1)
+      [ H.Ta_models.Binary; H.Ta_models.Revised; H.Ta_models.Two_phase;
+        H.Ta_models.Static ]
+  in
+  Cmd.v
+    (Cmd.info "table1"
+       ~doc:"Reproduce Table 1: (revised) binary, two-phase and static.")
+    Term.(const run $ const ())
+
+let table2_cmd =
+  let run () =
+    List.iter
+      (print_variant_table ~fixed:false ~n:1)
+      [ H.Ta_models.Expanding; H.Ta_models.Dynamic ]
+  in
+  Cmd.v
+    (Cmd.info "table2" ~doc:"Reproduce Table 2: expanding and dynamic.")
+    Term.(const run $ const ())
+
+let table_fixed_cmd =
+  let run () =
+    List.iter (print_variant_table ~fixed:true ~n:1) H.Ta_models.all_variants
+  in
+  Cmd.v
+    (Cmd.info "table-fixed"
+       ~doc:"Verify the section-6 fixed versions of all six variants.")
+    Term.(const run $ const ())
+
+let check_cmd =
+  let run variant tmin tmax n fixed req =
+    let params = H.Params.make ~n ~tmin ~tmax () in
+    let outcome = H.Verify.check ~fixed variant params req in
+    Format.printf "%s%s %a %s: %s@."
+      (H.Ta_models.variant_name variant)
+      (if fixed then " [fixed]" else "")
+      H.Params.pp params (H.Requirements.name req)
+      (if outcome.H.Verify.holds then "HOLDS" else "VIOLATED");
+    Option.iter
+      (fun trace ->
+        Format.printf "counterexample:@.";
+        List.iter
+          (fun e ->
+            Format.printf "  t=%-4d %s@." e.H.Scenarios.time e.H.Scenarios.action)
+          (H.Scenarios.timeline trace))
+      outcome.H.Verify.counterexample;
+    if not outcome.H.Verify.holds then exit 1
+  in
+  let req_arg =
+    Arg.(
+      required
+      & pos 0 (some req_conv) None
+      & info [] ~docv:"REQ" ~doc:"Requirement: R1, R2 or R3.")
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Model-check one requirement on one variant.")
+    Term.(
+      const run $ variant_arg $ tmin_arg $ tmax_arg $ n_arg $ fixed_arg
+      $ req_arg)
+
+let cex_cmd =
+  let scenarios =
+    [
+      ("r1a", H.Scenarios.fig10a);
+      ("r1b", H.Scenarios.fig10b);
+      ("r2", H.Scenarios.fig11);
+      ("r3", H.Scenarios.fig12);
+      ("r2join", H.Scenarios.fig13);
+    ]
+  in
+  let name_conv =
+    let parse s =
+      if List.mem_assoc s scenarios then Ok s
+      else
+        Error
+          (`Msg
+             (Printf.sprintf "unknown scenario %s (expected: %s)" s
+                (String.concat ", " (List.map fst scenarios))))
+    in
+    Arg.conv (parse, Format.pp_print_string)
+  in
+  let msc_arg =
+    Arg.(
+      value & flag
+      & info [ "msc" ]
+          ~doc:"Render the trace as a message sequence chart instead of an \
+                event list.")
+  in
+  let run name msc =
+    let scenario = (List.assoc name scenarios) () in
+    if msc then print_string (H.Msc.render scenario)
+    else Format.printf "%a@." H.Scenarios.pp scenario
+  in
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some name_conv) None
+      & info [] ~docv:"SCENARIO"
+          ~doc:"One of r1a (Fig 10a), r1b (Fig 10b), r2 (Fig 11), r3 \
+                (Fig 12), r2join (Fig 13).")
+  in
+  Cmd.v
+    (Cmd.info "cex" ~doc:"Print a counterexample figure of the paper.")
+    Term.(const run $ name_arg $ msc_arg)
+
+let bounds_cmd =
+  let run tmax =
+    Format.printf
+      "tmin  claimed(2*tmax)  corrected  halving-worst  p[i]-tight  join@.";
+    for tmin = 1 to tmax do
+      let p = H.Params.make ~tmin ~tmax () in
+      Format.printf "%4d  %15d  %9d  %13d  %10d  %4d@." tmin
+        (H.Bounds.original_p0_claim p)
+        (H.Bounds.p0_detection p)
+        (H.Bounds.p0_detection_exhaustive p)
+        (H.Bounds.pi_waiting p)
+        (H.Bounds.pi_join_waiting p)
+    done
+  in
+  Cmd.v
+    (Cmd.info "bounds"
+       ~doc:"Print the section-6.2 detection-bound analysis for a tmin sweep.")
+    Term.(const run $ tmax_arg)
+
+let worst_cmd =
+  let run variant tmin tmax fixed =
+    let params = H.Params.make ~tmin ~tmax () in
+    let measured = H.Verify.worst_detection ~fixed variant params in
+    Format.printf
+      "%s%s %a: worst-case detection measured on the model = %d (analytic        halving worst = %d, corrected bound = %d, original claim = %d)@."
+      (H.Ta_models.variant_name variant)
+      (if fixed then " [fixed]" else "")
+      H.Params.pp params measured
+      (H.Bounds.p0_detection_exhaustive params)
+      (H.Bounds.p0_detection params)
+      (H.Bounds.original_p0_claim params)
+  in
+  Cmd.v
+    (Cmd.info "worst"
+       ~doc:"Measure the exact worst-case detection delay on the model              (binary search over the watchdog bound).")
+    Term.(const run $ variant_arg $ tmin_arg $ tmax_arg $ fixed_arg)
+
+let all_cmd =
+  let run () =
+    List.iter (print_variant_table ~fixed:false ~n:1) H.Ta_models.all_variants;
+    Format.printf "@.=== fixed versions ===@.@.";
+    List.iter (print_variant_table ~fixed:true ~n:1) H.Ta_models.all_variants
+  in
+  Cmd.v
+    (Cmd.info "all" ~doc:"All tables, original and fixed.")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "hbverify" ~version:"1.0.0"
+      ~doc:"Model checking of accelerated heartbeat protocols (ICDCS'98)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            table1_cmd; table2_cmd; table_fixed_cmd; all_cmd; check_cmd;
+            cex_cmd; bounds_cmd; worst_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/adaptive_detector.ml: Fd Format List Printf

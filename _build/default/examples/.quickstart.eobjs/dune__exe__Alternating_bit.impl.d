@@ -1,0 +1,1 @@
+examples/alternating_bit.ml: Format List Mc Proc

@@ -1,0 +1,1 @@
+examples/alternating_bit.mli:

@@ -1,0 +1,1 @@
+examples/failure_detector.ml: Format Heartbeat List

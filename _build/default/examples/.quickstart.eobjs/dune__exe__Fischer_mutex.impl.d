@@ -1,0 +1,1 @@
+examples/fischer_mutex.ml: Format List Mc Printf Ta

@@ -1,0 +1,136 @@
+(* The process-algebra substrate as a general tool: the alternating-bit
+   protocol over lossy channels.
+
+   Shows the [proc] library (mCRL2-style processes with data, binary
+   communication, allow sets) and the [mc] regular-safety checker on a
+   protocol unrelated to heartbeats: a sender retransmits each message
+   until acknowledged; the bit protects against duplicates.  The checked
+   property is the classic one — the receiver never delivers the same
+   bit twice in a row — expressed as the forbidden-trace regular
+   expression  (any)* . deliver(b) . (no deliver)* . deliver(b).
+
+   Run with: dune exec examples/alternating_bit.exe *)
+
+module T = Proc.Term
+module P = Proc.Pexpr
+module V = Proc.Value
+
+let spec ~checked =
+  (* Sender: send the current bit, then wait; on the right ack flip the
+     bit, on a wrong ack (or spontaneously) retransmit. *)
+  let sender =
+    T.def "S" [ "b" ]
+      (T.Prefix
+         ( T.act "s_msg" [ P.Var "b" ],
+           T.choice
+             [
+               T.Prefix
+                 (T.act "r_ack" [ P.Var "b" ], T.call "S" [ P.Sub (P.int 1, P.Var "b") ]);
+               T.Prefix
+                 (T.act "r_ack" [ P.Sub (P.int 1, P.Var "b") ], T.call "S" [ P.Var "b" ]);
+               T.Prefix (T.act "again" [], T.call "S" [ P.Var "b" ]);
+             ] ))
+  in
+  (* Receiver: deliver a message with the expected bit and acknowledge;
+     re-acknowledge duplicates without delivering.  The broken variant
+     skips the bit check. *)
+  let receiver =
+    if checked then
+      T.def "R" [ "b" ]
+        (T.Sum
+           ( "x",
+             0,
+             1,
+             T.Prefix
+               ( T.act "r_out" [ P.Var "x" ],
+                 T.cond
+                   (P.Eq (P.Var "x", P.Var "b"))
+                   (T.Prefix
+                      ( T.act "deliver" [ P.Var "x" ],
+                        T.Prefix
+                          ( T.act "s_ack" [ P.Var "x" ],
+                            T.call "R" [ P.Sub (P.int 1, P.Var "b") ] ) ))
+                   (T.Prefix (T.act "s_ack" [ P.Var "x" ], T.call "R" [ P.Var "b" ]))
+               ) ))
+    else
+      T.def "R" [ "b" ]
+        (T.Sum
+           ( "x",
+             0,
+             1,
+             T.Prefix
+               ( T.act "r_out" [ P.Var "x" ],
+                 T.Prefix
+                   ( T.act "deliver" [ P.Var "x" ],
+                     T.Prefix (T.act "s_ack" [ P.Var "x" ], T.call "R" [ P.Var "b" ])
+                   ) ) ))
+  in
+  (* Lossy one-place channels, message and ack directions. *)
+  let channel name inp out =
+    T.def name []
+      (T.Sum
+         ( "x",
+           0,
+           1,
+           T.Prefix
+             ( T.act inp [ P.Var "x" ],
+               T.choice
+                 [
+                   T.Prefix (T.act out [ P.Var "x" ], T.call name []);
+                   T.Prefix (T.act "lose" [], T.call name []);
+                 ] ) ))
+  in
+  {
+    Proc.Spec.defs =
+      [ sender; receiver; channel "K" "r_msg" "s_out"; channel "L" "r_back" "s_ack2" ];
+    init = [ ("S", [ V.Int 0 ]); ("R", [ V.Int 0 ]); ("K", []); ("L", []) ];
+    comms =
+      [
+        ("s_msg", "r_msg", "msg");
+        ("s_out", "r_out", "out");
+        ("s_ack", "r_back", "ack_in");
+        ("s_ack2", "r_ack", "ack");
+      ];
+    allow = [ "msg"; "out"; "ack_in"; "ack"; "deliver"; "lose"; "again" ];
+    hide = [ "msg"; "out"; "ack_in"; "ack"; "again" ];
+  }
+
+let duplicate_delivery =
+  let deliver b (l : Proc.Semantics.label) =
+    match l with
+    | Proc.Semantics.Act ("deliver", [ V.Int x ]) -> x = b
+    | _ -> false
+  in
+  let is_deliver l = deliver 0 l || deliver 1 l in
+  let dup b =
+    Mc.Regex.(
+      seq_list
+        [
+          star any;
+          atom "deliver" (deliver b);
+          star (atom "other" (fun l -> not (is_deliver l)));
+          atom "deliver-again" (deliver b);
+        ])
+  in
+  Mc.Regex.alt (dup 0) (dup 1)
+
+let () =
+  let check ~checked =
+    Mc.Safety.check_forbidden
+      (Proc.Semantics.system (spec ~checked))
+      duplicate_delivery
+  in
+  Format.printf "Alternating-bit protocol over lossy channels:@.";
+  (match check ~checked:true with
+  | Mc.Safety.Holds ->
+      Format.printf "  with the bit check: no duplicate delivery, ever@."
+  | _ -> assert false);
+  match check ~checked:false with
+  | Mc.Safety.Violated trace ->
+      Format.printf
+        "  without the bit check: VIOLATED — a retransmission is \
+         delivered twice:@.";
+      List.iter
+        (fun l -> Format.printf "    %a@." Proc.Semantics.pp_label l)
+        trace
+  | _ -> assert false

@@ -1,0 +1,19 @@
+(** Umbrella module re-exporting the public API of the reproduction.
+
+    - {!Lts} — labelled transition systems
+    - {!Mc} — explicit-state model checker
+    - {!Proc} — process algebra with data
+    - {!Ta} — discrete-time timed automata
+    - {!Sim} — discrete-event simulator
+    - {!Heartbeat} — the accelerated heartbeat protocols, their formal
+      models, requirements and verification drivers
+    - {!Fd} — a failure-detector layer (the paper's stated follow-up)
+      with Chen-style QoS measurement *)
+
+module Lts = Lts
+module Mc = Mc
+module Proc = Proc
+module Ta = Ta
+module Sim = Sim
+module Heartbeat = Heartbeat
+module Fd = Fd

@@ -1,0 +1,1 @@
+lib/fd/detector.ml: Array Estimator List Option Sim

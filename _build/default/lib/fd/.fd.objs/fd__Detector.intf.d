@@ -1,0 +1,1 @@
+lib/fd/detector.mli: Estimator Sim

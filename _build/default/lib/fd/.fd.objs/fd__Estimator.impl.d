@@ -1,0 +1,1 @@
+lib/fd/estimator.ml: List

@@ -1,0 +1,1 @@
+lib/fd/qos.ml: Detector Estimator Format List Option Sim

@@ -1,0 +1,1 @@
+lib/fd/qos.mli: Detector Format

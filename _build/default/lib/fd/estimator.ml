@@ -1,0 +1,52 @@
+type t =
+  | Fixed of { margin : float }
+  | Window_max of { window : int; margin : float }
+  | Ewma of { alpha : float; margin : float }
+
+let name = function
+  | Fixed _ -> "fixed"
+  | Window_max _ -> "window-max"
+  | Ewma _ -> "ewma"
+
+let validate = function
+  | Fixed { margin } ->
+      if margin <= 0.0 then invalid_arg "Fd.Estimator: margin must be positive"
+  | Window_max { window; margin } ->
+      if window < 1 then invalid_arg "Fd.Estimator: window must be >= 1";
+      if margin <= 0.0 then invalid_arg "Fd.Estimator: margin must be positive"
+  | Ewma { alpha; margin } ->
+      if alpha <= 0.0 || alpha > 1.0 then
+        invalid_arg "Fd.Estimator: alpha outside (0,1]";
+      if margin <= 0.0 then invalid_arg "Fd.Estimator: margin must be positive"
+
+type state = {
+  period : float;
+  mutable last_arrival : float;
+  mutable intervals : float list; (* most recent first, for Window_max *)
+  mutable ewma : float; (* smoothed inter-arrival estimate *)
+}
+
+let start est ~period =
+  validate est;
+  { period; last_arrival = 0.0; intervals = []; ewma = period }
+
+let observe est st ~now =
+  let gap = now -. st.last_arrival in
+  st.last_arrival <- now;
+  (match est with
+  | Fixed _ -> ()
+  | Window_max { window; _ } ->
+      st.intervals <- gap :: st.intervals;
+      if List.length st.intervals > window then
+        st.intervals <-
+          List.filteri (fun i _ -> i < window) st.intervals
+  | Ewma { alpha; _ } -> st.ewma <- (alpha *. gap) +. ((1.0 -. alpha) *. st.ewma))
+
+let deadline est st =
+  match est with
+  | Fixed { margin } -> st.last_arrival +. st.period +. margin
+  | Window_max { margin; _ } ->
+      let worst = List.fold_left max st.period st.intervals in
+      st.last_arrival +. worst +. margin
+  | Ewma { margin; _ } ->
+      st.last_arrival +. max st.period st.ewma +. margin

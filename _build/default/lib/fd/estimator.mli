@@ -1,0 +1,33 @@
+(** Freshness-deadline estimators for heartbeat failure detectors.
+
+    A monitor expects a heartbeat from each monitored process every
+    [period]; an estimator turns the observed arrival history into the
+    next freshness deadline.  Implemented estimators:
+
+    - {!Fixed}: deadline = last arrival + period + margin;
+    - {!Window_max}: margin over the largest inter-arrival time in a
+      sliding window (adapts to the real jitter);
+    - {!Ewma}: Chen-style — an exponentially weighted moving average of
+      inter-arrival times plus a margin. *)
+
+type t =
+  | Fixed of { margin : float }
+  | Window_max of { window : int; margin : float }
+  | Ewma of { alpha : float; margin : float }
+
+val name : t -> string
+
+val validate : t -> unit
+(** @raise Invalid_argument on a non-positive margin or window, or an
+    EWMA weight outside (0, 1]. *)
+
+type state
+(** Per-monitored-process estimator state. *)
+
+val start : t -> period:float -> state
+
+val observe : t -> state -> now:float -> unit
+(** Record a heartbeat arrival. *)
+
+val deadline : t -> state -> float
+(** The current freshness deadline: suspect if nothing arrives by then. *)

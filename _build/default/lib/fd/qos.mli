@@ -1,0 +1,44 @@
+(** Quality-of-service metrics for failure detectors
+    (Chen, Toueg & Aguilera's framework).
+
+    - {e detection time}: crash to permanent suspicion;
+    - {e mistake rate}: false suspicions per unit time;
+    - {e mistake duration}: how long a false suspicion lasts;
+    - {e availability}: fraction of time a live process is trusted. *)
+
+type metrics = {
+  detection_time : float option;
+      (** when the run contains a crash and it was detected *)
+  mistakes : int;  (** false suspicions (suspicions of a live process) *)
+  mistake_rate : float;  (** mistakes per unit time *)
+  mean_mistake_duration : float;  (** 0 when there were no mistakes *)
+  availability : float;
+      (** fraction of (pre-crash) time the process was trusted *)
+  messages : int;
+}
+
+val measure : Detector.config -> metrics
+(** Run the detector once and extract the metrics for process 1. *)
+
+type tradeoff_row = {
+  margin : float;
+  probes : int;
+  mean_detection : float;
+  t_mistake_rate : float;
+  t_availability : float;
+}
+
+val margin_sweep :
+  ?runs:int ->
+  ?margins:float list ->
+  ?probes:int ->
+  ?loss:float ->
+  ?seed:int64 ->
+  unit ->
+  tradeoff_row list
+(** The classic QoS trade-off curve: sweeping the safety margin trades
+    detection time against mistake rate.  Each row aggregates [runs]
+    crash runs (for detection) and [runs] crash-free runs (for
+    mistakes). *)
+
+val pp_tradeoff : Format.formatter -> tradeoff_row -> unit

@@ -1,0 +1,1 @@
+lib/heartbeat/bounds.ml: List Params

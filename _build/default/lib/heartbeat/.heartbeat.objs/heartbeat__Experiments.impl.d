@@ -1,0 +1,1 @@
+lib/heartbeat/experiments.ml: Bounds Format Option Params Runtime Sim

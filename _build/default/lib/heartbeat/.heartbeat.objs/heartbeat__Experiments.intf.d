@@ -1,0 +1,1 @@
+lib/heartbeat/experiments.mli: Format Params Runtime Sim

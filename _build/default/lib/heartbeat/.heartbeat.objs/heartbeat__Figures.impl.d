@@ -1,0 +1,1 @@
+lib/heartbeat/figures.ml: Format Lts Pa_models Params Proc

@@ -1,0 +1,1 @@
+lib/heartbeat/figures.mli: Lts Params Proc

@@ -1,0 +1,1 @@
+lib/heartbeat/msc.ml: Buffer List Printf Scenarios String Ta_models

@@ -1,0 +1,1 @@
+lib/heartbeat/msc.mli: Scenarios

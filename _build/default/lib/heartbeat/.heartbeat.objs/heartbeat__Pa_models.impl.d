@@ -1,0 +1,1 @@
+lib/heartbeat/pa_models.ml: List Params Printf Proc Ta_models

@@ -1,0 +1,1 @@
+lib/heartbeat/pa_models.mli: Params Proc Ta_models

@@ -1,0 +1,1 @@
+lib/heartbeat/pa_verify.ml: Format List Mc Pa_models Params Proc Requirements

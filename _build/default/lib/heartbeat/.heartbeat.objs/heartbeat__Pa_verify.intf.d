@@ -1,0 +1,1 @@
+lib/heartbeat/pa_verify.mli: Pa_models Params Requirements

@@ -1,0 +1,1 @@
+lib/heartbeat/params.ml: Format

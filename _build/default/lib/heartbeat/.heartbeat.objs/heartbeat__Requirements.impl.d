@@ -1,0 +1,1 @@
+lib/heartbeat/requirements.ml: List Params Printf Ta Ta_models

@@ -1,0 +1,1 @@
+lib/heartbeat/requirements.mli: Params Ta Ta_models

@@ -1,0 +1,1 @@
+lib/heartbeat/runtime.ml: Array Hashtbl List Option Params Printf Sim

@@ -1,0 +1,1 @@
+lib/heartbeat/runtime.mli: Params Sim

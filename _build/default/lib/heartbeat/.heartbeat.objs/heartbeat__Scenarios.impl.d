@@ -1,0 +1,1 @@
+lib/heartbeat/scenarios.ml: Format List Params Requirements Ta Ta_models Verify

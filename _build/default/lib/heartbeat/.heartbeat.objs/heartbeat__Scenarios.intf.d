@@ -1,0 +1,1 @@
+lib/heartbeat/scenarios.mli: Format Params Requirements Ta Ta_models

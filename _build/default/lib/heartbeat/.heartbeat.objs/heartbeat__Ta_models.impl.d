@@ -1,0 +1,1 @@
+lib/heartbeat/ta_models.ml: Bounds List Params Printf Ta

@@ -1,0 +1,1 @@
+lib/heartbeat/ta_models.mli: Params Ta

@@ -1,0 +1,1 @@
+lib/heartbeat/verify.ml: Format List Mc Params Requirements Ta Ta_models

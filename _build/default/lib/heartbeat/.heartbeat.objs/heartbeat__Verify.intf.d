@@ -1,0 +1,1 @@
+lib/heartbeat/verify.mli: Format Params Requirements Ta Ta_models

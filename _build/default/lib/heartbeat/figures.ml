@@ -1,0 +1,81 @@
+(* Component state spaces: a participant together with its private
+   stopwatch, with the network-facing actions left free.  Reuses the
+   process-algebra definitions of {!Pa_models} under a smaller
+   communication/allow structure. *)
+
+let spec_of defs init comms allow hide =
+  { Proc.Spec.defs; init; comms; allow; hide }
+
+let p0_spec (p : Params.t) =
+  let tmax = p.Params.tmax in
+  let defs =
+    [ Pa_models.For_figures.p0_def Pa_models.Binary p 1 ]
+    @ Pa_models.For_figures.sw0_defs p
+  in
+  let init =
+    [
+      ( "P0",
+        [
+          Proc.Value.Bool true;
+          Proc.Value.Int tmax;
+          Proc.Value.Bool true;
+          Proc.Value.Int tmax;
+        ] );
+      ("SW0Armed", [ Proc.Value.Int 0; Proc.Value.Int tmax ]);
+    ]
+  in
+  let comms =
+    [
+      ("s_arm", "r_arm", "arm");
+      ("s_timeout0", "r_timeout0", "timeout0");
+      ("s_crash0", "r_crash0", "inactivate_v_p0");
+    ]
+  in
+  let allow =
+    [
+      "arm";
+      "timeout0";
+      "inactivate_v_p0";
+      "inactivate_nv_p0";
+      "s_beat0";
+      "r_dlv1_1";
+    ]
+  in
+  spec_of defs init comms allow [ "arm" ]
+
+let p1_spec (p : Params.t) =
+  let defs = Pa_models.For_figures.p1_defs p 1 @ Pa_models.For_figures.tick_dead in
+  let init =
+    [ ("P1_1", [ Proc.Value.Bool true ]); ("SW1_1", [ Proc.Value.Int 0 ]) ]
+  in
+  let comms =
+    [
+      ("s_reset1_1", "r_reset1_1", "reset1");
+      ("s_timeout1_1", "r_timeout1_1", "timeout1");
+      ("s_inactivate_v_p1", "r_inactivate_v_p1", "inactivate_v_p1");
+    ]
+  in
+  let allow =
+    [
+      "reset1";
+      "timeout1";
+      "inactivate_v_p1";
+      "inactivate_nv_p1";
+      "r_dlv0_1";
+      "s_beat1_1";
+    ]
+  in
+  spec_of defs init comms allow [ "reset1" ]
+
+let p0_component p = Proc.Semantics.lts (p0_spec p)
+let p1_component p = Proc.Semantics.lts (p1_spec p)
+
+let hidden (l : Proc.Semantics.label) =
+  match l with
+  | Proc.Semantics.Act ("tau", _) -> true
+  | Proc.Semantics.Act _ | Proc.Semantics.Tick -> false
+
+let p0_reduced p = Lts.Minimize.weak_trace ~hidden (p0_component p)
+let p1_reduced p = Lts.Minimize.weak_trace ~hidden (p1_component p)
+
+let label_to_string l = Format.asprintf "%a" Proc.Semantics.pp_label l

@@ -1,0 +1,25 @@
+(** The paper's component state-space figures.
+
+    Figure 1 shows p\[0\] of the binary protocol in isolation (with its
+    round stopwatch, the arming channel hidden) reduced modulo weak-trace
+    equivalence, for tmax = 2 and tmin = 1; Figure 2 shows p\[1\] (with
+    its watchdog).  These functions rebuild those state spaces from the
+    process-algebra models and return the reduced LTSs, which
+    [bin/hbexplore] can render to Graphviz. *)
+
+val p0_component : Params.t -> Proc.Semantics.label Lts.Graph.t
+(** The raw LTS of p\[0\] composed with its stopwatch; beats and received
+    replies are free (unsynchronised) actions, as in the paper's Fig 1. *)
+
+val p0_reduced : Params.t -> Proc.Semantics.label Lts.Graph.t
+(** [p0_component] with the arming channel hidden, determinised and
+    minimised (weak-trace reduction, as the paper's Figure 1). *)
+
+val p1_component : Params.t -> Proc.Semantics.label Lts.Graph.t
+(** The LTS of p\[1\] composed with its watchdog (paper Figure 2). *)
+
+val p1_reduced : Params.t -> Proc.Semantics.label Lts.Graph.t
+(** [p1_component] with the watchdog-reset channel hidden, weak-trace
+    reduced. *)
+
+val label_to_string : Proc.Semantics.label -> string

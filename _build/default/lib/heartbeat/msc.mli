@@ -1,0 +1,16 @@
+(** Message-sequence-chart rendering of counterexample traces.
+
+    The paper presents its counterexamples as sequence diagrams
+    (Figures 10–13): one lifeline for p[0], one per participant, messages
+    and timeouts marked along a vertical time axis.  This module renders
+    a {!Scenarios.t} in that style as text: one column per process plus a
+    channel column, one row per instant at which anything happens. *)
+
+val render : ?n:int -> Scenarios.t -> string
+(** [render scenario] lays the trace out as a chart; [n] is the number of
+    participant columns (default 1). *)
+
+val column_of : string -> int option
+(** Which lifeline an action belongs to: [Some 0] for p[0], [Some i] for
+    p\[i\], [None] for channel events (deliveries and losses).  Exposed
+    for the tests. *)

@@ -1,0 +1,106 @@
+let default_max = 4_000_000
+
+let participants variant (p : Params.t) =
+  let n =
+    match (variant : Pa_models.variant) with
+    | Pa_models.Static | Pa_models.Expanding | Pa_models.Dynamic -> p.Params.n
+    | Pa_models.Binary | Pa_models.Revised | Pa_models.Two_phase -> 1
+  in
+  List.init n (fun k -> k + 1)
+
+let name_in names (l : Proc.Semantics.label) =
+  match l with
+  | Proc.Semantics.Tick -> false
+  | Proc.Semantics.Act (name, _) -> List.mem name names
+
+let is_tick (l : Proc.Semantics.label) = l = Proc.Semantics.Tick
+
+let monitors variant (p : Params.t) req :
+    Proc.Semantics.label Mc.Monitor.t list =
+  let ps = participants variant p in
+  let joining = Pa_models.has_join variant in
+  let loses = List.concat_map (Pa_models.act_lose variant) ps in
+  match (req : Requirements.requirement) with
+  | Requirements.R1 ->
+      (* One watchdog per participant: more than 2*tmax ticks after the
+         last beat of p[i] received at p[0], while p[0] never
+         inactivated, is an error.  For the joining variants the watchdog
+         arms at the first received beat or join request and is disarmed
+         by a leave beat. *)
+      List.map
+        (fun i ->
+          let reset =
+            name_in
+              ([ Pa_models.act_beat_delivered_to_p0 i ]
+              @ if joining then [ Pa_models.act_join_delivered_to_p0 i ] else [])
+          in
+          let ok =
+            name_in
+              ([ Pa_models.act_inactivate_nv_p0; Pa_models.act_crash_p0 ]
+              @ if variant = Pa_models.Dynamic then
+                  [ Pa_models.act_leave_delivered_to_p0 i ]
+                else [])
+          in
+          let bound = 2 * p.Params.tmax in
+          if joining then
+            Mc.Monitor.deadline_after ~arm:reset ~tick:is_tick ~reset ~ok bound
+          else Mc.Monitor.deadline ~tick:is_tick ~reset ~ok bound)
+        ps
+  | Requirements.R2 ->
+      (* inactivate_nv_p[i] must be preceded by a loss or by an
+         inactivation of p[0] or of some other participant (voluntary
+         crash or watchdog inactivation; leaving does not count). *)
+      List.map
+        (fun i ->
+          let fault =
+            loses
+            @ [ Pa_models.act_crash_p0; Pa_models.act_inactivate_nv_p0 ]
+            @ List.concat_map
+                (fun j ->
+                  if j = i then []
+                  else
+                    [
+                      Pa_models.act_crash_pi j; Pa_models.act_inactivate_nv_pi j;
+                    ])
+                ps
+          in
+          Mc.Monitor.precedence ~fault:(name_in fault)
+            ~bad:(name_in [ Pa_models.act_inactivate_nv_pi i ]))
+        ps
+  | Requirements.R3 ->
+      (* inactivate_nv_p0 must be preceded by a loss or by any
+         inactivation of a participant (leaving does not count). *)
+      let fault =
+        loses
+        @ List.concat_map
+            (fun j ->
+              [ Pa_models.act_crash_pi j; Pa_models.act_inactivate_nv_pi j ])
+            ps
+      in
+      [
+        Mc.Monitor.precedence ~fault:(name_in fault)
+          ~bad:(name_in [ Pa_models.act_inactivate_nv_p0 ]);
+      ]
+
+let check ?(max_states = default_max) variant params req =
+  let spec = Pa_models.build variant params in
+  let sys = Proc.Semantics.system spec in
+  List.for_all
+    (fun monitor ->
+      match Mc.Safety.check_monitor ~max_states sys monitor with
+      | Mc.Safety.Holds -> true
+      | Mc.Safety.Violated _ -> false
+      | Mc.Safety.Unknown n ->
+          Format.kasprintf failwith
+            "Pa_verify.check: state bound %d exceeded (%s, %s)" n
+            (Pa_models.variant_name variant)
+            (Requirements.name req))
+    (monitors variant params req)
+
+let state_count ?(max_states = default_max) variant params =
+  let spec = Pa_models.build variant params in
+  let count, complete =
+    Mc.Explore.count ~max_states (Proc.Semantics.system spec)
+  in
+  if not complete then failwith "Pa_verify.state_count: state bound exceeded";
+  count

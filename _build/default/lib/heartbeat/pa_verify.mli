@@ -1,0 +1,25 @@
+(** Verification of the process-algebra models (paper §5.2).
+
+    The paper checks the same requirements on the mCRL2 models with the
+    CADP toolset, using µ-calculus safety formulae of the shape
+    [\[R\]false] plus watchdog monitor processes.  Here R2 and R3 are the
+    corresponding regular safety properties over the action traces, and R1
+    is a deadline monitor over [tick]s ({!Mc.Monitor.deadline}) — the
+    exact counterpart of the paper's watchdog-with-error-action scheme.
+
+    The test suite checks these verdicts against the timed-automata
+    verdicts of {!Verify} on common data sets (the paper's claim that
+    "both model checkers produced similar results"). *)
+
+val check :
+  ?max_states:int ->
+  Pa_models.variant ->
+  Params.t ->
+  Requirements.requirement ->
+  bool
+(** [check variant params req] model-checks [req] on the process-algebra
+    model; [true] means the requirement holds.
+    @raise Failure if the state bound (default 4 million) is exceeded. *)
+
+val state_count : ?max_states:int -> Pa_models.variant -> Params.t -> int
+(** Size of the reachable state space (for tests and benchmarks). *)

@@ -1,0 +1,75 @@
+type requirement = R1 | R2 | R3
+
+let all = [ R1; R2; R3 ]
+let name = function R1 -> "R1" | R2 -> "R2" | R3 -> "R3"
+let needs_monitors = function R1 -> true | R2 | R3 -> false
+
+let participants variant (p : Params.t) =
+  let n = if Ta_models.is_multi variant then p.Params.n else 1 in
+  List.init n (fun k -> k + 1)
+
+(* "p[j] is still a live participant": any location other than the two
+   inactivated ones.  Never-joined and left participants are handled
+   separately, following the paper's UPPAAL formulas
+   (e.g. [P2.Alive or (not jnd[..]) or leave[..]]). *)
+let alive_pred variant net j =
+  let loc_is loc = Ta.Semantics.loc_is net ~auto:(Ta_models.p_name j) ~loc in
+  let v = loc_is "VInact" and nv = loc_is "NVInact" in
+  let left =
+    if variant = Ta_models.Dynamic then loc_is "Left" else fun _ -> false
+  in
+  fun c -> (not (v c)) && (not (nv c)) && not (left c)
+
+(* "p[j]'s state cannot excuse someone else's inactivation": p[j] is
+   alive, or it never joined, or it left voluntarily. *)
+let no_excuse_pred variant net j =
+  let alive = alive_pred variant net j in
+  let left =
+    if variant = Ta_models.Dynamic then
+      Ta.Semantics.loc_is net ~auto:(Ta_models.p_name j) ~loc:"Left"
+    else fun _ -> false
+  in
+  let unjoined =
+    if variant = Ta_models.Expanding || variant = Ta_models.Dynamic then
+      let jv = Ta.Semantics.var net (Printf.sprintf "jnd%d" j) in
+      fun c -> jv c = 0
+    else fun _ -> false
+  in
+  fun c -> alive c || left c || unjoined c
+
+let bad_state variant (p : Params.t) (net : Ta.Semantics.t) req =
+  let loc_is auto loc = Ta.Semantics.loc_is net ~auto ~loc in
+  let var name = Ta.Semantics.var net name in
+  let ps = participants variant p in
+  match req with
+  | R1 ->
+      (* Some watchdog reached its error location. *)
+      let errors =
+        List.map (fun i -> loc_is (Ta_models.monitor_name i) "Error") ps
+      in
+      fun c -> List.exists (fun pred -> pred c) errors
+  | R2 ->
+      (* Some participant was non-voluntarily inactivated although no
+         message was ever lost, p[0] is still alive, and every other
+         participant is alive (or never joined / left voluntarily). *)
+      let lost = var "lost" in
+      let p0_alive = loc_is Ta_models.p0_name "Alive" in
+      let nv =
+        List.map (fun i -> (i, loc_is (Ta_models.p_name i) "NVInact")) ps
+      in
+      let no_excuse = List.map (fun j -> (j, no_excuse_pred variant net j)) ps in
+      fun c ->
+        lost c = 0 && p0_alive c
+        && List.exists
+             (fun (i, nv_i) ->
+               nv_i c
+               && List.for_all (fun (j, ok_j) -> j = i || ok_j c) no_excuse)
+             nv
+  | R3 ->
+      (* p[0] was non-voluntarily inactivated although no message was ever
+         lost and every participant is alive (or never joined / left). *)
+      let lost = var "lost" in
+      let p0_nv = loc_is Ta_models.p0_name "NVInact" in
+      let no_excuse = List.map (fun j -> no_excuse_pred variant net j) ps in
+      fun c ->
+        lost c = 0 && p0_nv c && List.for_all (fun ok_j -> ok_j c) no_excuse

@@ -1,0 +1,36 @@
+(** The paper's correctness requirements R1–R3 (§5), as checks on the
+    timed-automata models.
+
+    - {b R1} (progress): for each participant i, if p[0] receives no
+      heartbeat from p\[i\] for [2*tmax], then p[0] becomes inactive.
+      Checked as reachability of the watchdog error location of
+      [M{i}] ({!Ta_models.monitor_automaton}).
+    - {b R2} (safety of participants): no p\[i\] is non-voluntarily
+      inactivated unless a message was lost or some other process crashed
+      voluntarily.  Checked as reachability of a state with
+      [lost == 0], [P{i}] in [NVInact], [P0] in [Alive], and no other
+      participant voluntarily crashed.
+    - {b R3} (safety of p\[0\]): symmetric for the coordinator.
+
+    Each requirement is expressed as a {e bad-state predicate}; the
+    requirement holds iff no bad state is reachable. *)
+
+type requirement = R1 | R2 | R3
+
+val all : requirement list
+val name : requirement -> string
+
+val needs_monitors : requirement -> bool
+(** R1 needs the watchdog automata in the model. *)
+
+val bad_state :
+  Ta_models.variant ->
+  Params.t ->
+  Ta.Semantics.t ->
+  requirement ->
+  Ta.Semantics.config ->
+  bool
+(** [bad_state variant params compiled r] is the predicate over
+    configurations whose reachability refutes requirement [r].  The
+    [compiled] network must have been built by {!Ta_models.build} for the
+    same [variant] and [params] (and with monitors for R1). *)

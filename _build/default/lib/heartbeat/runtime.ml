@@ -1,0 +1,226 @@
+type kind = Halving | Two_phase | Fixed_rate of int
+
+let kind_name = function
+  | Halving -> "halving"
+  | Two_phase -> "two-phase"
+  | Fixed_rate k -> Printf.sprintf "fixed-rate(%d)" k
+
+type crash = { who : int; at : float }
+
+type config = {
+  params : Params.t;
+  kind : kind;
+  loss : float;
+  loss_model : Sim.Loss.t option;
+  duration : float;
+  crash : crash option;
+  fixed_bounds : bool;
+  seed : int64;
+}
+
+let config ?(kind = Halving) ?(loss = 0.0) ?loss_model ?crash
+    ?(fixed_bounds = false) ?(seed = 1L) ~duration params =
+  (match kind with
+  | Fixed_rate k when k < 1 ->
+      invalid_arg "Heartbeat.Runtime: Fixed_rate needs k >= 1"
+  | _ -> ());
+  { params; kind; loss; loss_model; duration; crash; fixed_bounds; seed }
+
+type result = {
+  messages_sent : int;
+  messages_lost : int;
+  p0_detected_at : float option;
+  pi_inactivated_at : (int * float) list;
+  false_detection : bool;
+}
+
+(* Mutable per-run protocol state. *)
+type participant = {
+  index : int;
+  mutable alive : bool;
+  mutable deadline : Sim.Engine.timer option;
+}
+
+type coordinator = {
+  mutable c_alive : bool;
+  mutable tm : float array; (* per-participant waiting time *)
+  mutable rcvd : bool array;
+  mutable misses : int array; (* fixed-rate miss counters *)
+  mutable detected : float option;
+}
+
+let run (cfg : config) : result =
+  let { Params.tmin; tmax; n } = cfg.params in
+  let tmin_f = float_of_int tmin and tmax_f = float_of_int tmax in
+  let engine = Sim.Engine.create ~seed:cfg.seed () in
+  let pi_bound =
+    if cfg.fixed_bounds then 2.0 *. tmax_f
+    else (3.0 *. tmax_f) -. tmin_f
+  in
+  let coordinator =
+    {
+      c_alive = true;
+      tm = Array.make (n + 1) tmax_f;
+      rcvd = Array.make (n + 1) true;
+      misses = Array.make (n + 1) 0;
+      detected = None;
+    }
+  in
+  let participants =
+    Array.init (n + 1) (fun i -> { index = i; alive = true; deadline = None })
+  in
+  let inactivations = ref [] in
+  let crashed = ref false in
+  (* One-way links; each direction gets half the round-trip budget. *)
+  let link deliver =
+    Sim.Net.create engine ~loss:cfg.loss ?model:cfg.loss_model ~delay_lo:0.0
+      ~delay_hi:(tmin_f /. 2.0) ~deliver ()
+  in
+  (* Forward refs between the two directions' handlers. *)
+  let to_p0 : (int, int Sim.Net.t) Hashtbl.t = Hashtbl.create 8 in
+  let reply i = Sim.Net.send (Hashtbl.find to_p0 i) i in
+  let rearm_deadline p on_fire =
+    Option.iter Sim.Engine.cancel p.deadline;
+    p.deadline <- Some (Sim.Engine.schedule engine ~delay:pi_bound on_fire)
+  in
+  let rec participant_deadline i () =
+    let p = participants.(i) in
+    if p.alive then begin
+      p.alive <- false;
+      inactivations := (i, Sim.Engine.now engine) :: !inactivations
+    end
+  and on_beat i =
+    let p = participants.(i) in
+    if p.alive then begin
+      reply i;
+      rearm_deadline p (participant_deadline i)
+    end
+  in
+  let to_pi =
+    Array.init (n + 1) (fun i -> link (fun _ -> on_beat i))
+  in
+  for i = 1 to n do
+    Hashtbl.add to_p0 i
+      (link (fun i ->
+           if coordinator.c_alive then begin
+             coordinator.rcvd.(i) <- true;
+             coordinator.misses.(i) <- 0
+           end))
+  done;
+  let detect () =
+    if coordinator.detected = None then begin
+      coordinator.detected <- Some (Sim.Engine.now engine);
+      coordinator.c_alive <- false
+    end
+  in
+  let broadcast () =
+    for i = 1 to n do
+      Sim.Net.send to_pi.(i) i
+    done
+  in
+  (* Halving coordinator: evaluate the ending round, recompute the
+     waiting times, broadcast, and schedule the next round boundary. *)
+  let rec accelerated_round () =
+    if coordinator.c_alive then begin
+      for i = 1 to n do
+        if coordinator.rcvd.(i) then coordinator.tm.(i) <- tmax_f
+        else coordinator.tm.(i) <- coordinator.tm.(i) /. 2.0;
+        coordinator.rcvd.(i) <- false
+      done;
+      let t = Array.fold_left min infinity (Array.sub coordinator.tm 1 n) in
+      if t < tmin_f then detect ()
+      else begin
+        broadcast ();
+        ignore (Sim.Engine.schedule engine ~delay:t accelerated_round)
+      end
+    end
+  in
+  (* Two-phase starvation bookkeeping: a miss at tm = tmin means the
+     accelerated probe also went unanswered. *)
+  let rec two_phase_round () =
+    if coordinator.c_alive then begin
+      let starved = ref false in
+      for i = 1 to n do
+        if coordinator.rcvd.(i) then coordinator.tm.(i) <- tmax_f
+        else if coordinator.tm.(i) <= tmin_f then starved := true
+        else coordinator.tm.(i) <- tmin_f;
+        coordinator.rcvd.(i) <- false
+      done;
+      if !starved then detect ()
+      else begin
+        let t = Array.fold_left min infinity (Array.sub coordinator.tm 1 n) in
+        broadcast ();
+        ignore (Sim.Engine.schedule engine ~delay:t two_phase_round)
+      end
+    end
+  in
+  let rec fixed_rate_round k () =
+    if coordinator.c_alive then begin
+      let period = tmax_f /. float_of_int k in
+      let failed = ref false in
+      for i = 1 to n do
+        if not coordinator.rcvd.(i) then begin
+          coordinator.misses.(i) <- coordinator.misses.(i) + 1;
+          if coordinator.misses.(i) >= k then failed := true
+        end;
+        coordinator.rcvd.(i) <- false
+      done;
+      if !failed then detect ()
+      else begin
+        broadcast ();
+        ignore (Sim.Engine.schedule engine ~delay:period (fixed_rate_round k))
+      end
+    end
+  in
+  (* Arm participant deadlines and start the coordinator. *)
+  for i = 1 to n do
+    rearm_deadline participants.(i) (participant_deadline i)
+  done;
+  (match cfg.kind with
+  | Halving ->
+      ignore (Sim.Engine.schedule engine ~delay:tmax_f accelerated_round)
+  | Two_phase ->
+      ignore (Sim.Engine.schedule engine ~delay:tmax_f two_phase_round)
+  | Fixed_rate k ->
+      ignore
+        (Sim.Engine.schedule engine
+           ~delay:(tmax_f /. float_of_int k)
+           (fixed_rate_round k)));
+  (* Crash injection. *)
+  Option.iter
+    (fun { who; at } ->
+      ignore
+        (Sim.Engine.schedule engine ~delay:at (fun () ->
+             crashed := true;
+             if who = 0 then coordinator.c_alive <- false
+             else begin
+               participants.(who).alive <- false;
+               Option.iter Sim.Engine.cancel participants.(who).deadline
+             end)))
+    cfg.crash;
+  Sim.Engine.run ~until:cfg.duration engine;
+  let sent = ref 0 and lost = ref 0 in
+  Array.iteri
+    (fun i l ->
+      if i >= 1 then begin
+        sent := !sent + Sim.Net.sent l;
+        lost := !lost + Sim.Net.lost l
+      end)
+    to_pi;
+  Hashtbl.iter
+    (fun _ l ->
+      sent := !sent + Sim.Net.sent l;
+      lost := !lost + Sim.Net.lost l)
+    to_p0;
+  {
+    messages_sent = !sent;
+    messages_lost = !lost;
+    p0_detected_at = coordinator.detected;
+    pi_inactivated_at = List.rev !inactivations;
+    false_detection = coordinator.detected <> None && not !crashed;
+  }
+
+let detection_delay cfg result =
+  match (cfg.crash, result.p0_detected_at) with
+  | Some { at; _ }, Some d when d >= at -> Some (d -. at)
+  | _ -> None

@@ -1,0 +1,104 @@
+type outcome = {
+  holds : bool;
+  counterexample : Ta.Semantics.label list option;
+  states_explored : int option;
+}
+
+let default_max = 5_000_000
+
+let check ?(fixed = false) ?(max_states = default_max) variant params req =
+  let with_r1_monitors = Requirements.needs_monitors req in
+  let model = Ta_models.build ~fixed ~with_r1_monitors variant params in
+  let net = Ta.Semantics.compile model in
+  let bad = Requirements.bad_state variant params net req in
+  match Mc.Safety.check_state ~max_states (Ta.Semantics.system net) bad with
+  | Mc.Safety.Holds ->
+      { holds = true; counterexample = None; states_explored = None }
+  | Mc.Safety.Violated trace ->
+      { holds = false; counterexample = Some trace; states_explored = None }
+  | Mc.Safety.Unknown n ->
+      Format.kasprintf failwith
+        "Verify.check: state bound %d exceeded (%s, %s, %a)" n
+        (Ta_models.variant_name variant)
+        (Requirements.name req) Params.pp params
+
+(* R1 with an explicit watchdog bound. *)
+let r1_holds_with_bound ~fixed ~max_states variant params bound =
+  let model =
+    Ta_models.build ~fixed ~with_r1_monitors:true ~r1_bound:bound variant
+      params
+  in
+  let net = Ta.Semantics.compile model in
+  let bad = Requirements.bad_state variant params net Requirements.R1 in
+  match Mc.Safety.check_state ~max_states (Ta.Semantics.system net) bad with
+  | Mc.Safety.Holds -> true
+  | Mc.Safety.Violated _ -> false
+  | Mc.Safety.Unknown n ->
+      Format.kasprintf failwith "Verify.worst_detection: state bound %d hit" n
+
+let worst_detection ?(fixed = false) ?(max_states = default_max) variant
+    params =
+  let ceiling = 4 * params.Params.tmax in
+  if not (r1_holds_with_bound ~fixed ~max_states variant params ceiling) then
+    Format.kasprintf failwith
+      "Verify.worst_detection: no detection within %d (%s, %a)" ceiling
+      (Ta_models.variant_name variant)
+      Params.pp params;
+  (* smallest bound that holds; bounds are monotone in B *)
+  let rec search lo hi =
+    (* invariant: lo fails (or is below every candidate), hi holds *)
+    if hi - lo <= 1 then hi
+    else
+      let mid = (lo + hi) / 2 in
+      if r1_holds_with_bound ~fixed ~max_states variant params mid then
+        search lo mid
+      else search mid hi
+  in
+  search 0 ceiling
+
+type row = { tmin : int; tmax : int; r1 : bool; r2 : bool; r3 : bool }
+
+let table ?(fixed = false) ?(n = 1) ?(datasets = Params.table_datasets)
+    variant =
+  List.map
+    (fun (tmin, tmax) ->
+      let params = Params.make ~n ~tmin ~tmax () in
+      let outcome req = (check ~fixed variant params req).holds in
+      {
+        tmin;
+        tmax;
+        r1 = outcome Requirements.R1;
+        r2 = outcome Requirements.R2;
+        r3 = outcome Requirements.R3;
+      })
+    datasets
+
+let pp_table ppf ~header rows =
+  let tf b = if b then "T" else "F" in
+  Format.fprintf ppf "%s@." header;
+  Format.fprintf ppf "  %-6s" "tmin";
+  List.iter (fun r -> Format.fprintf ppf " %4d" r.tmin) rows;
+  Format.fprintf ppf "@.  %-6s" "tmax";
+  List.iter (fun r -> Format.fprintf ppf " %4d" r.tmax) rows;
+  Format.fprintf ppf "@.  %-6s" "R1";
+  List.iter (fun r -> Format.fprintf ppf " %4s" (tf r.r1)) rows;
+  Format.fprintf ppf "@.  %-6s" "R2";
+  List.iter (fun r -> Format.fprintf ppf " %4s" (tf r.r2)) rows;
+  Format.fprintf ppf "@.  %-6s" "R3";
+  List.iter (fun r -> Format.fprintf ppf " %4s" (tf r.r3)) rows;
+  Format.fprintf ppf "@."
+
+let deadlock_free ?(fixed = false) ?(max_states = default_max) variant params
+    =
+  let model = Ta_models.build ~fixed variant params in
+  let net = Ta.Semantics.compile model in
+  let sys = Ta.Semantics.system net in
+  match
+    Mc.Explore.find ~max_states
+      ~goal:(fun c -> Ta.Semantics.successors net c = [])
+      sys
+  with
+  | Mc.Explore.Unreachable -> true
+  | Mc.Explore.Reached _ -> false
+  | Mc.Explore.Bound_hit n ->
+      Format.kasprintf failwith "Verify.deadlock_free: state bound %d hit" n

@@ -1,0 +1,61 @@
+(** The verification driver: model-check a protocol against R1–R3 and
+    regenerate the paper's result tables.
+
+    This is the workflow of the paper's §5.4–5.5: build the model for a
+    data set [(tmin, tmax)], check each requirement, and tabulate
+    satisfied / violated. *)
+
+type outcome = {
+  holds : bool;
+  counterexample : Ta.Semantics.label list option;
+      (** a shortest violating trace, when [holds] is false *)
+  states_explored : int option;  (** when cheaply available *)
+}
+
+val check :
+  ?fixed:bool ->
+  ?max_states:int ->
+  Ta_models.variant ->
+  Params.t ->
+  Requirements.requirement ->
+  outcome
+(** Model-check one requirement.
+    @raise Failure if the state bound is exceeded (no verdict). *)
+
+type row = {
+  tmin : int;
+  tmax : int;
+  r1 : bool;
+  r2 : bool;
+  r3 : bool;
+}
+
+val table :
+  ?fixed:bool ->
+  ?n:int ->
+  ?datasets:(int * int) list ->
+  Ta_models.variant ->
+  row list
+(** One verification row per data set (default: the paper's
+    {!Params.table_datasets}), i.e. Table 1 for the binary family and
+    static, Table 2 for expanding/dynamic. *)
+
+val pp_table :
+  Format.formatter -> header:string -> row list -> unit
+(** Render rows in the layout of the paper's tables ([T]/[F] entries). *)
+
+val worst_detection :
+  ?fixed:bool -> ?max_states:int -> Ta_models.variant -> Params.t -> int
+(** The exact worst-case time between the last heartbeat received by
+    p\[0\] and p\[0\]'s inactivation, measured {e on the model}: the
+    smallest watchdog bound [B] such that the R1 property with bound [B]
+    holds.  Cross-validates the §6.2 closed-form analysis
+    ({!Bounds.p0_detection_exhaustive}) against the actual state space.
+    @raise Failure if even the bound [4*tmax] is violated (p\[0\] can
+    starve forever — e.g. the dynamic protocol's leave semantics). *)
+
+val deadlock_free :
+  ?fixed:bool -> ?max_states:int -> Ta_models.variant -> Params.t -> bool
+(** Sanity check used by the test suite: the model has no configuration
+    without successors (would indicate a modelling artefact such as a
+    blocked urgent location). *)

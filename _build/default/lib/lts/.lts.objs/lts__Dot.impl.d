@@ -1,0 +1,1 @@
+lib/lts/dot.ml: Buffer Format Graph String

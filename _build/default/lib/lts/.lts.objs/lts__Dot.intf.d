@@ -1,0 +1,1 @@
+lib/lts/dot.mli: Format Graph

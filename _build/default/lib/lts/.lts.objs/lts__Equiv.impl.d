@@ -1,0 +1,1 @@
+lib/lts/equiv.ml: Array Graph Minimize

@@ -1,0 +1,1 @@
+lib/lts/graph.ml: Array Format Hashtbl List Printf Queue

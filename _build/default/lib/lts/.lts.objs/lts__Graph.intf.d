@@ -1,0 +1,1 @@
+lib/lts/graph.mli: Format

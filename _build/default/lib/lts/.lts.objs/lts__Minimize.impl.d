@@ -1,0 +1,1 @@
+lib/lts/minimize.ml: Array Graph Hashtbl List Queue

@@ -1,0 +1,1 @@
+lib/lts/minimize.mli: Graph

@@ -1,0 +1,27 @@
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let pp ?(name = "lts") ~pp_label ppf lts =
+  Format.fprintf ppf "digraph %s {@." name;
+  Format.fprintf ppf "  rankdir=TB;@.";
+  for s = 0 to Graph.num_states lts - 1 do
+    let shape = if s = Graph.initial lts then "doublecircle" else "circle" in
+    Format.fprintf ppf "  s%d [shape=%s,label=\"%d\"];@." s shape s
+  done;
+  Graph.fold_transitions
+    (fun s l s' () ->
+      let label = escape (Format.asprintf "%a" pp_label l) in
+      Format.fprintf ppf "  s%d -> s%d [label=\"%s\"];@." s s' label)
+    lts ();
+  Format.fprintf ppf "}@."
+
+let to_string ?name ~pp_label lts = Format.asprintf "%a" (pp ?name ~pp_label) lts

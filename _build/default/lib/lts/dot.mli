@@ -1,0 +1,15 @@
+(** Graphviz export of labelled transition systems. *)
+
+val pp :
+  ?name:string ->
+  pp_label:(Format.formatter -> 'l -> unit) ->
+  Format.formatter ->
+  'l Graph.t ->
+  unit
+(** [pp ~pp_label ppf lts] writes [lts] in Graphviz dot syntax.  The initial
+    state is drawn with a double circle, matching the convention used in the
+    paper's automata figures. *)
+
+val to_string :
+  ?name:string -> pp_label:(Format.formatter -> 'l -> unit) -> 'l Graph.t -> string
+(** Same as {!pp}, into a string. *)

@@ -1,0 +1,24 @@
+(* Disjoint union of two LTSs; the second system's states are shifted by
+   the first's size.  The union's initial state is arbitrary (graph-level
+   algorithms below never rely on it). *)
+let union a b =
+  let na = Graph.num_states a in
+  let transitions =
+    Graph.fold_transitions (fun s l s' acc -> (s, l, s') :: acc) a []
+    |> Graph.fold_transitions
+         (fun s l s' acc -> (s + na, l, s' + na) :: acc)
+         b
+  in
+  Graph.make
+    ~num_states:(na + Graph.num_states b)
+    ~initial:(Graph.initial a) transitions
+
+let strong_bisimilar a b =
+  let u = union a b in
+  let _, block = Minimize.strong u in
+  block.(Graph.initial a) = block.(Graph.initial b + Graph.num_states a)
+
+let weak_trace_equivalent ~hidden a b =
+  let da = Minimize.determinize ~hidden a in
+  let db = Minimize.determinize ~hidden b in
+  strong_bisimilar da db

@@ -1,0 +1,16 @@
+(** Equivalence checking between two labelled transition systems.
+
+    Strong bisimilarity is decided by partition refinement on the
+    disjoint union; weak-trace equivalence by determinising both systems
+    (with the given internal labels hidden) and checking bisimilarity of
+    the results, which coincides with language equivalence for
+    deterministic systems. *)
+
+val strong_bisimilar : 'l Graph.t -> 'l Graph.t -> bool
+(** Are the initial states of the two systems strongly bisimilar?
+    Labels are compared structurally across the two systems. *)
+
+val weak_trace_equivalent :
+  hidden:('l -> bool) -> 'l Graph.t -> 'l Graph.t -> bool
+(** Do the two systems have the same weak traces (visible-label
+    sequences, with [hidden] labels treated as internal)? *)

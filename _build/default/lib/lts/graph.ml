@@ -1,0 +1,147 @@
+type 'l t = {
+  num_states : int;
+  initial : int;
+  trans : (int * 'l * int) array;
+  succ : int list array; (* indices into [trans], per source state *)
+}
+
+let make ~num_states ~initial transitions =
+  let check s =
+    if s < 0 || s >= num_states then
+      invalid_arg (Printf.sprintf "Lts.Graph.make: state %d out of range" s)
+  in
+  check initial;
+  List.iter (fun (s, _, s') -> check s; check s') transitions;
+  let trans = Array.of_list transitions in
+  let succ = Array.make num_states [] in
+  for i = Array.length trans - 1 downto 0 do
+    let s, _, _ = trans.(i) in
+    succ.(s) <- i :: succ.(s)
+  done;
+  { num_states; initial; trans; succ }
+
+let num_states t = t.num_states
+let num_transitions t = Array.length t.trans
+let initial t = t.initial
+
+let successors t s =
+  List.map (fun i -> let _, l, s' = t.trans.(i) in (l, s')) t.succ.(s)
+
+let transitions t = Array.to_list t.trans
+
+let fold_transitions f t acc =
+  Array.fold_left (fun acc (s, l, s') -> f s l s' acc) acc t.trans
+
+let labels t =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  Array.iter
+    (fun (_, l, _) ->
+      if not (Hashtbl.mem seen l) then begin
+        Hashtbl.add seen l ();
+        out := l :: !out
+      end)
+    t.trans;
+  List.rev !out
+
+let deadlocks t =
+  let rec collect s acc =
+    if s < 0 then acc
+    else collect (s - 1) (if t.succ.(s) = [] then s :: acc else acc)
+  in
+  collect (t.num_states - 1) []
+
+let reachable t =
+  let seen = Array.make t.num_states false in
+  let rec dfs s =
+    if not seen.(s) then begin
+      seen.(s) <- true;
+      List.iter (fun i -> let _, _, s' = t.trans.(i) in dfs s') t.succ.(s)
+    end
+  in
+  dfs t.initial;
+  seen
+
+let restrict_to_reachable t =
+  let keep = reachable t in
+  let map = Array.make t.num_states (-1) in
+  let next = ref 0 in
+  for s = 0 to t.num_states - 1 do
+    if keep.(s) then begin
+      map.(s) <- !next;
+      incr next
+    end
+  done;
+  let transitions =
+    fold_transitions
+      (fun s l s' acc ->
+        if keep.(s) && keep.(s') then (map.(s), l, map.(s')) :: acc else acc)
+      t []
+  in
+  (make ~num_states:!next ~initial:map.(t.initial) (List.rev transitions), map)
+
+let map_labels f t =
+  { t with trans = Array.map (fun (s, l, s') -> (s, f l, s')) t.trans }
+
+let trace_to t goal =
+  if goal t.initial then Some []
+  else begin
+    let visited = Array.make t.num_states false in
+    (* [parent.(s)] records the transition index that first reached [s]. *)
+    let parent = Array.make t.num_states (-1) in
+    let queue = Queue.create () in
+    visited.(t.initial) <- true;
+    Queue.add t.initial queue;
+    let found = ref (-1) in
+    (try
+       while not (Queue.is_empty queue) do
+         let s = Queue.pop queue in
+         List.iter
+           (fun i ->
+             let _, _, s' = t.trans.(i) in
+             if not visited.(s') then begin
+               visited.(s') <- true;
+               parent.(s') <- i;
+               if goal s' then begin
+                 found := s';
+                 raise Exit
+               end;
+               Queue.add s' queue
+             end)
+           t.succ.(s)
+       done
+     with Exit -> ());
+    if !found < 0 then None
+    else begin
+      let rec build s acc =
+        if s = t.initial then acc
+        else
+          let i = parent.(s) in
+          let src, l, _ = t.trans.(i) in
+          build src (l :: acc)
+      in
+      Some (build !found [])
+    end
+  end
+
+let has_trace t ~eq word =
+  let rec step states = function
+    | [] -> states <> []
+    | l :: rest ->
+        let next =
+          List.concat_map
+            (fun s ->
+              List.filter_map
+                (fun (l', s') -> if eq l l' then Some s' else None)
+                (successors t s))
+            states
+        in
+        let next = List.sort_uniq compare next in
+        next <> [] && step next rest
+  in
+  step [ t.initial ] word
+
+let pp_stats ppf t =
+  Format.fprintf ppf "%d states, %d transitions, %d deadlocks" t.num_states
+    (num_transitions t)
+    (List.length (deadlocks t))

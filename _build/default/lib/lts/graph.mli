@@ -1,0 +1,65 @@
+(** Finite labelled transition systems.
+
+    A labelled transition system (LTS) is a finite graph whose nodes are
+    states (numbered [0 .. num_states - 1]) and whose edges carry labels of
+    an arbitrary type ['l].  LTSs are the common output format of the
+    process-algebra semantics ({!Proc.Semantics}) and the timed-automata
+    semantics ({!Ta.Semantics}), and the common input format of the
+    minimisation and export utilities. *)
+
+type 'l t
+(** An immutable LTS with labels of type ['l]. *)
+
+val make : num_states:int -> initial:int -> (int * 'l * int) list -> 'l t
+(** [make ~num_states ~initial transitions] builds an LTS.  Every state
+    index occurring in [transitions] and [initial] must lie in
+    [0 .. num_states - 1].
+    @raise Invalid_argument on an out-of-range state index. *)
+
+val num_states : 'l t -> int
+(** Number of states. *)
+
+val num_transitions : 'l t -> int
+(** Number of transitions. *)
+
+val initial : 'l t -> int
+(** The initial state. *)
+
+val successors : 'l t -> int -> ('l * int) list
+(** [successors lts s] lists the outgoing transitions of state [s], in the
+    order they were given to {!make}. *)
+
+val transitions : 'l t -> (int * 'l * int) list
+(** All transitions as [(source, label, target)] triples. *)
+
+val fold_transitions : (int -> 'l -> int -> 'a -> 'a) -> 'l t -> 'a -> 'a
+(** Fold over all transitions. *)
+
+val labels : 'l t -> 'l list
+(** The distinct labels occurring in the LTS (using structural equality),
+    in first-occurrence order. *)
+
+val deadlocks : 'l t -> int list
+(** States with no outgoing transition, in increasing order. *)
+
+val reachable : 'l t -> bool array
+(** [reachable lts] marks the states reachable from the initial state. *)
+
+val restrict_to_reachable : 'l t -> 'l t * int array
+(** Drop unreachable states.  Returns the restricted LTS together with the
+    renumbering map [old_index -> new_index] ([-1] for dropped states). *)
+
+val map_labels : ('l -> 'm) -> 'l t -> 'm t
+(** Relabel every transition. *)
+
+val trace_to : 'l t -> (int -> bool) -> 'l list option
+(** [trace_to lts goal] returns the labels of a shortest path from the
+    initial state to some state satisfying [goal], or [None] if no such
+    state is reachable. *)
+
+val has_trace : 'l t -> eq:('l -> 'l -> bool) -> 'l list -> bool
+(** [has_trace lts ~eq word] tests whether [word] labels a path starting in
+    the initial state. *)
+
+val pp_stats : Format.formatter -> 'l t -> unit
+(** Print a one-line [states/transitions/deadlocks] summary. *)

@@ -1,0 +1,128 @@
+(* Partition refinement for strong bisimilarity (Kanellakis-Smolka).
+   Blocks are represented as an int array [block.(s)]; refinement recomputes
+   per-state signatures (multiset of (label, target block) pairs) until the
+   partition is stable. *)
+
+let strong lts =
+  let n = Graph.num_states lts in
+  let block = Array.make n 0 in
+  let num_blocks = ref (if n = 0 then 0 else 1) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    (* Signature of a state: sorted, deduplicated successor profile. *)
+    let signature s =
+      Graph.successors lts s
+      |> List.map (fun (l, s') -> (l, block.(s')))
+      |> List.sort_uniq compare
+    in
+    let table = Hashtbl.create (2 * n) in
+    let next = ref 0 in
+    let new_block = Array.make n 0 in
+    for s = 0 to n - 1 do
+      let key = (block.(s), signature s) in
+      match Hashtbl.find_opt table key with
+      | Some b -> new_block.(s) <- b
+      | None ->
+          Hashtbl.add table key !next;
+          new_block.(s) <- !next;
+          incr next
+    done;
+    if !next <> !num_blocks then begin
+      changed := true;
+      num_blocks := !next;
+      Array.blit new_block 0 block 0 n
+    end
+  done;
+  let transitions =
+    Graph.fold_transitions
+      (fun s l s' acc -> (block.(s), l, block.(s')) :: acc)
+      lts []
+    |> List.sort_uniq compare
+  in
+  let quotient =
+    Graph.make ~num_states:!num_blocks
+      ~initial:(if n = 0 then 0 else block.(Graph.initial lts))
+      transitions
+  in
+  (quotient, block)
+
+(* Module over sets of states represented as sorted int lists. *)
+module State_set = struct
+  type t = int list
+
+  let of_list l = List.sort_uniq compare l
+
+  let closure step (set : t) : t =
+    let seen = Hashtbl.create 16 in
+    let rec go todo =
+      match todo with
+      | [] -> ()
+      | s :: rest ->
+          if Hashtbl.mem seen s then go rest
+          else begin
+            Hashtbl.add seen s ();
+            go (step s @ rest)
+          end
+    in
+    go set;
+    Hashtbl.fold (fun s () acc -> s :: acc) seen [] |> List.sort compare
+end
+
+let determinize ~hidden lts =
+  let tau_step s =
+    Graph.successors lts s
+    |> List.filter_map (fun (l, s') -> if hidden l then Some s' else None)
+  in
+  let close set = State_set.closure tau_step set in
+  let visible_moves set =
+    let table = Hashtbl.create 8 in
+    let order = ref [] in
+    List.iter
+      (fun s ->
+        List.iter
+          (fun (l, s') ->
+            if not (hidden l) then begin
+              if not (Hashtbl.mem table l) then order := l :: !order;
+              Hashtbl.replace table l
+                (s' :: (try Hashtbl.find table l with Not_found -> []))
+            end)
+          (Graph.successors lts s))
+      set;
+    List.rev_map (fun l -> (l, close (State_set.of_list (Hashtbl.find table l)))) !order
+  in
+  let index = Hashtbl.create 64 in
+  let states = ref [] in
+  let count = ref 0 in
+  let intern set =
+    match Hashtbl.find_opt index set with
+    | Some i -> i
+    | None ->
+        let i = !count in
+        Hashtbl.add index set i;
+        states := set :: !states;
+        incr count;
+        i
+  in
+  let transitions = ref [] in
+  let queue = Queue.create () in
+  let init = close [ Graph.initial lts ] in
+  let init_i = intern init in
+  Queue.add (init_i, init) queue;
+  let expanded = Hashtbl.create 64 in
+  while not (Queue.is_empty queue) do
+    let i, set = Queue.pop queue in
+    if not (Hashtbl.mem expanded i) then begin
+      Hashtbl.add expanded i ();
+      List.iter
+        (fun (l, set') ->
+          let before = !count in
+          let j = intern set' in
+          transitions := (i, l, j) :: !transitions;
+          if j >= before then Queue.add (j, set') queue)
+        (visible_moves set)
+    end
+  done;
+  Graph.make ~num_states:!count ~initial:init_i (List.rev !transitions)
+
+let weak_trace ~hidden lts = fst (strong (determinize ~hidden lts))

@@ -1,0 +1,22 @@
+(** Quotienting of labelled transition systems.
+
+    Provides strong-bisimulation minimisation (partition refinement in the
+    style of Kanellakis–Smolka) and weak-trace reduction (saturation of
+    internal steps followed by subset construction), the two reductions used
+    by the paper to present protocol state spaces (its Figure 1 shows the
+    binary protocol's p[0] reduced modulo weak-trace equivalence). *)
+
+val strong : 'l Graph.t -> 'l Graph.t * int array
+(** [strong lts] computes the quotient of [lts] under strong bisimilarity.
+    Labels are compared with structural equality.  Returns the quotient LTS
+    and the map from original states to their equivalence classes. *)
+
+val determinize : hidden:('l -> bool) -> 'l Graph.t -> 'l Graph.t
+(** [determinize ~hidden lts] saturates the transitions satisfying [hidden]
+    (treating them as internal) and performs a subset construction, yielding
+    a deterministic LTS over the visible labels that is weak-trace
+    equivalent to [lts]. *)
+
+val weak_trace : hidden:('l -> bool) -> 'l Graph.t -> 'l Graph.t
+(** [weak_trace ~hidden lts] is [strong (determinize ~hidden lts)]: the
+    minimal deterministic LTS accepting the same weak traces. *)

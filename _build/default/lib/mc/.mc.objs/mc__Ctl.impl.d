@@ -1,0 +1,1 @@
+lib/mc/ctl.ml: Array Format Lazy List Lts Queue

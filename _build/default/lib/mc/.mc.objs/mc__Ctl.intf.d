@@ -1,0 +1,1 @@
+lib/mc/ctl.mli: Format Lts

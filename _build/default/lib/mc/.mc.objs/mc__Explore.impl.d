@@ -1,0 +1,1 @@
+lib/mc/explore.ml: Array Hashtbl List Lts Queue System

@@ -1,0 +1,1 @@
+lib/mc/regex.ml: Array Format Hashtbl List Monitor

@@ -1,0 +1,1 @@
+lib/mc/regex.mli: Format Monitor

@@ -1,0 +1,1 @@
+lib/mc/safety.ml: Explore Format List Monitor Regex System

@@ -1,0 +1,1 @@
+lib/mc/safety.mli: Format Monitor Regex System

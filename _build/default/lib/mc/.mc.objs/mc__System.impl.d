@@ -1,0 +1,1 @@
+lib/mc/system.ml: Format

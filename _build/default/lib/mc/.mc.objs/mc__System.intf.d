@@ -1,0 +1,1 @@
+lib/mc/system.mli: Format

@@ -1,0 +1,147 @@
+type ('s, 'l) space = {
+  lts : 'l Lts.Graph.t;
+  states : 's array;
+  complete : bool;
+}
+
+let default_max = 1_000_000
+
+(* A hash table keyed by the system's own state equality and hash. *)
+module Table (S : System.S) = Hashtbl.Make (struct
+  type t = S.state
+
+  let equal = S.equal_state
+  let hash = S.hash_state
+end)
+
+let space (type s l) ?(max_states = default_max)
+    (sys : (s, l) System.t) : (s, l) space =
+  let module S = (val sys) in
+  let module T = Table (S) in
+  let index = T.create 4096 in
+  let states = ref [] in
+  let count = ref 0 in
+  let complete = ref true in
+  let intern s =
+    match T.find_opt index s with
+    | Some i -> i
+    | None ->
+        let i = !count in
+        T.add index s i;
+        states := s :: !states;
+        incr count;
+        i
+  in
+  let transitions = ref [] in
+  let queue = Queue.create () in
+  let i0 = intern S.initial in
+  Queue.add (i0, S.initial) queue;
+  while not (Queue.is_empty queue) do
+    let i, s = Queue.pop queue in
+    List.iter
+      (fun (l, s') ->
+        if !count < max_states || T.mem index s' then begin
+          let before = !count in
+          let j = intern s' in
+          transitions := (i, l, j) :: !transitions;
+          if j >= before then Queue.add (j, s') queue
+        end
+        else complete := false)
+      (S.successors s)
+  done;
+  let states = Array.of_list (List.rev !states) in
+  let lts =
+    Lts.Graph.make ~num_states:!count ~initial:i0 (List.rev !transitions)
+  in
+  { lts; states; complete = !complete }
+
+type ('s, 'l) witness = { trace : 'l list; state : 's }
+
+type ('s, 'l) verdict =
+  | Unreachable
+  | Reached of ('s, 'l) witness
+  | Bound_hit of int
+
+let find (type s l) ?(max_states = default_max) ~goal
+    (sys : (s, l) System.t) : (s, l) verdict =
+  let module S = (val sys) in
+  let module T = Table (S) in
+  let visited = T.create 4096 in
+  (* Parent pointers for shortest-trace reconstruction: state index ->
+     (label, parent index); states are also kept in an extensible array. *)
+  let states = ref [||] in
+  let parents = ref [||] in
+  let count = ref 0 in
+  let push s parent =
+    if !count >= Array.length !states then begin
+      let cap = max 64 (2 * Array.length !states) in
+      let grow a fill = Array.append a (Array.make (cap - Array.length a) fill) in
+      states := grow !states s;
+      parents := grow !parents parent
+    end;
+    !states.(!count) <- s;
+    !parents.(!count) <- parent;
+    T.add visited s !count;
+    incr count;
+    !count - 1
+  in
+  let rebuild i =
+    let rec go i acc =
+      match !parents.(i) with
+      | None -> acc
+      | Some (l, p) -> go p (l :: acc)
+    in
+    go i []
+  in
+  if goal S.initial then Reached { trace = []; state = S.initial }
+  else begin
+    let queue = Queue.create () in
+    let i0 = push S.initial None in
+    Queue.add i0 queue;
+    let result = ref None in
+    let truncated = ref false in
+    (try
+       while not (Queue.is_empty queue) do
+         let i = Queue.pop queue in
+         let s = !states.(i) in
+         List.iter
+           (fun (l, s') ->
+             if not (T.mem visited s') then
+               if !count >= max_states then truncated := true
+               else begin
+                 let j = push s' (Some (l, i)) in
+                 if goal s' then begin
+                   result := Some (rebuild j, s');
+                   raise Exit
+                 end;
+                 Queue.add j queue
+               end)
+           (S.successors s)
+       done
+     with Exit -> ());
+    match !result with
+    | Some (trace, state) -> Reached { trace; state }
+    | None -> if !truncated then Bound_hit max_states else Unreachable
+  end
+
+let count (type s l) ?(max_states = default_max) (sys : (s, l) System.t) =
+  let module S = (val sys) in
+  let module T = Table (S) in
+  let visited = T.create 4096 in
+  let queue = Queue.create () in
+  let complete = ref true in
+  T.add visited S.initial ();
+  Queue.add S.initial queue;
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    List.iter
+      (fun (_, s') ->
+        if not (T.mem visited s') then
+          if T.length visited >= max_states then complete := false
+          else begin
+            T.add visited s' ();
+            Queue.add s' queue
+          end)
+      (S.successors s)
+  done;
+  (T.length visited, !complete)

@@ -1,0 +1,35 @@
+(** Explicit-state exploration.
+
+    Breadth-first exploration of a {!System.S} with hashed duplicate
+    detection, producing either the full state space as an
+    {!Lts.Graph.t}, a shortest witness trace to a goal state, or summary
+    statistics.  All entry points take an optional [max_states] bound; when
+    the bound is hit the result is marked incomplete rather than failing. *)
+
+type ('s, 'l) space = {
+  lts : 'l Lts.Graph.t;  (** the explored state graph *)
+  states : 's array;  (** state of each LTS node *)
+  complete : bool;  (** [false] iff exploration hit [max_states] *)
+}
+
+val space : ?max_states:int -> ('s, 'l) System.t -> ('s, 'l) space
+(** [space sys] builds the reachable state graph of [sys] breadth-first.
+    [max_states] defaults to one million. *)
+
+type ('s, 'l) witness = {
+  trace : 'l list;  (** labels of a shortest path from the initial state *)
+  state : 's;  (** the reached goal state *)
+}
+
+type ('s, 'l) verdict =
+  | Unreachable  (** exhaustive search found no goal state *)
+  | Reached of ('s, 'l) witness
+  | Bound_hit of int  (** no goal within the first [n] states explored *)
+
+val find : ?max_states:int -> goal:('s -> bool) -> ('s, 'l) System.t -> ('s, 'l) verdict
+(** [find ~goal sys] searches breadth-first for a state satisfying [goal],
+    returning a shortest witness trace when one exists. *)
+
+val count : ?max_states:int -> ('s, 'l) System.t -> int * bool
+(** [count sys] is the number of reachable states paired with a completeness
+    flag; cheaper than {!space} as no graph is retained. *)

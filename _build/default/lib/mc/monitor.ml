@@ -1,0 +1,61 @@
+type 'l t = {
+  start : int;
+  step : int -> 'l -> int;
+  accepting : int -> bool;
+}
+
+(* State 1 is the absorbing "violated" state in the simple monitors. *)
+
+let never bad =
+  {
+    start = 0;
+    step = (fun q l -> if q = 1 || bad l then 1 else 0);
+    accepting = (fun q -> q = 1);
+  }
+
+let always good = never (fun l -> not (good l))
+
+let precedence ~fault ~bad =
+  (* 0 = watching, 1 = violated, 2 = discharged (a fault occurred first). *)
+  {
+    start = 0;
+    step =
+      (fun q l ->
+        match q with
+        | 0 -> if fault l then 2 else if bad l then 1 else 0
+        | q -> q);
+    accepting = (fun q -> q = 1);
+  }
+
+let deadline ~tick ~reset ~ok n =
+  (* States 0..n count ticks since the last reset; n+1 = violated;
+     n+2 = discharged. *)
+  let violated = n + 1 and discharged = n + 2 in
+  {
+    start = 0;
+    step =
+      (fun q l ->
+        if q = violated || q = discharged then q
+        else if ok l then discharged
+        else if reset l then 0
+        else if tick l then if q >= n then violated else q + 1
+        else q);
+    accepting = (fun q -> q = violated);
+  }
+
+let deadline_after ~arm ~tick ~reset ~ok n =
+  (* State -1 = unarmed; 0..n ticks since last reset; n+1 = violated;
+     n+2 = discharged. *)
+  let unarmed = -1 and violated = n + 1 and discharged = n + 2 in
+  {
+    start = unarmed;
+    step =
+      (fun q l ->
+        if q = violated || q = discharged then q
+        else if ok l then discharged
+        else if q = unarmed then if arm l then 0 else unarmed
+        else if reset l then 0
+        else if tick l then if q >= n then violated else q + 1
+        else q);
+    accepting = (fun q -> q = violated);
+  }

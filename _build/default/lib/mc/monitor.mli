@@ -1,0 +1,45 @@
+(** Finite-state observers over transition labels.
+
+    A monitor reads the labels of a run one by one and flags when the word
+    read so far violates a safety property (equivalently: matches the
+    "forbidden prefix" language).  Monitors are deterministic from the
+    outside — states are opaque integers — which makes the product with a
+    {!System.S} straightforward. *)
+
+type 'l t = {
+  start : int;
+  step : int -> 'l -> int;
+  accepting : int -> bool;
+      (** [accepting q] holds when the word read so far is forbidden. *)
+}
+
+val never : ('l -> bool) -> 'l t
+(** [never bad] accepts as soon as a label satisfying [bad] occurs. *)
+
+val always : ('l -> bool) -> 'l t
+(** [always good] accepts as soon as a label violates [good]. *)
+
+val precedence : fault:('l -> bool) -> bad:('l -> bool) -> 'l t
+(** [precedence ~fault ~bad] accepts when a [bad] label occurs before any
+    [fault] label: the safety property "bad only after fault", the shape of
+    the paper's requirements R2 and R3 ([\[(not fault)* . bad\]false]). *)
+
+val deadline : tick:('l -> bool) -> reset:('l -> bool) -> ok:('l -> bool) -> int -> 'l t
+(** [deadline ~tick ~reset ~ok n] accepts when more than [n] ticks pass with
+    no [reset] label and no [ok] label in between: the watchdog shape of
+    requirement R1 ("if no heartbeat for [2*tmax] then inactivation").
+    [reset] restarts the count; [ok] discharges the obligation forever. *)
+
+val deadline_after :
+  arm:('l -> bool) ->
+  tick:('l -> bool) ->
+  reset:('l -> bool) ->
+  ok:('l -> bool) ->
+  int ->
+  'l t
+(** Like {!deadline}, but inert until a label satisfying [arm] occurs
+    (which also counts as the first reset) — the watchdog shape for the
+    joining phases of the expanding/dynamic protocols, where the
+    obligation only starts once the coordinator has heard from the
+    participant.  A label satisfying [ok] before arming disarms it for
+    good. *)

@@ -1,0 +1,55 @@
+type 'l verdict =
+  | Holds
+  | Violated of 'l list
+  | Unknown of int
+
+(* Product of a system and a monitor: the monitor state rides along in the
+   configuration, and a goal search for an accepting monitor state yields a
+   shortest violating trace. *)
+let product (type s l) (sys : (s, l) System.t) (m : l Monitor.t) :
+    (s * int, l) System.t =
+  let module S = (val sys) in
+  (module struct
+    type state = S.state * int
+    type label = S.label
+
+    let initial = (S.initial, m.Monitor.start)
+
+    let successors (s, q) =
+      List.map (fun (l, s') -> (l, (s', m.Monitor.step q l))) (S.successors s)
+
+    let equal_state (s1, q1) (s2, q2) = q1 = q2 && S.equal_state s1 s2
+    let hash_state (s, q) = (S.hash_state s * 31) + q
+    let pp_state ppf (s, q) = Format.fprintf ppf "%a | mon:%d" S.pp_state s q
+    let pp_label = S.pp_label
+  end)
+
+let check_monitor ?max_states (type s l) (sys : (s, l) System.t)
+    (m : l Monitor.t) : l verdict =
+  let prod = product sys m in
+  match
+    Explore.find ?max_states ~goal:(fun (_, q) -> m.Monitor.accepting q) prod
+  with
+  | Explore.Unreachable -> Holds
+  | Explore.Reached w -> Violated w.Explore.trace
+  | Explore.Bound_hit n -> Unknown n
+
+let check_forbidden ?max_states sys r =
+  check_monitor ?max_states sys (Regex.compile r)
+
+let check_state ?max_states (type s l) (sys : (s, l) System.t) bad : l verdict
+    =
+  match Explore.find ?max_states ~goal:bad sys with
+  | Explore.Unreachable -> Holds
+  | Explore.Reached w -> Violated w.Explore.trace
+  | Explore.Bound_hit n -> Unknown n
+
+let holds = function Holds -> true | Violated _ | Unknown _ -> false
+
+let pp_verdict ~pp_label ppf = function
+  | Holds -> Format.pp_print_string ppf "holds"
+  | Violated trace ->
+      Format.fprintf ppf "violated by trace:@,  @[<v>%a@]"
+        (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_label)
+        trace
+  | Unknown n -> Format.fprintf ppf "unknown (state bound %d hit)" n

@@ -1,0 +1,35 @@
+(** Safety checking: monitor products and reachability verdicts.
+
+    Combines a {!System.S} with a {!Monitor.t} (or a state predicate) and
+    searches for a violation, returning a shortest counterexample trace when
+    one exists — the workflow the paper performs with CADP (µ-calculus
+    safety formulae on the mCRL2 state space) and with UPPAAL (reachability
+    of monitor error locations). *)
+
+type 'l verdict =
+  | Holds  (** exhaustive exploration found no violation *)
+  | Violated of 'l list  (** shortest counterexample, as a label trace *)
+  | Unknown of int  (** state bound hit before a verdict was reached *)
+
+val check_monitor :
+  ?max_states:int -> ('s, 'l) System.t -> 'l Monitor.t -> 'l verdict
+(** [check_monitor sys m] explores the product of [sys] and [m] and reports
+    whether an accepting monitor state is reachable. *)
+
+val check_forbidden :
+  ?max_states:int -> ('s, 'l) System.t -> 'l Regex.t -> 'l verdict
+(** [check_forbidden sys r] decides the µ-calculus safety formula
+    [\[r\]false]: [Violated w] means the trace [w] matches [r]. *)
+
+val check_state :
+  ?max_states:int -> ('s, 'l) System.t -> ('s -> bool) -> 'l verdict
+(** [check_state sys bad] decides the (negated) reachability property
+    [E<> bad]: [Violated w] means [w] leads to a state satisfying [bad].
+    This is the UPPAAL-style check used for the timed-automata models. *)
+
+val holds : 'l verdict -> bool
+(** [holds v] is [true] only for {!Holds}. *)
+
+val pp_verdict :
+  pp_label:(Format.formatter -> 'l -> unit) -> Format.formatter -> 'l verdict -> unit
+(** Render a verdict, including the counterexample trace if any. *)

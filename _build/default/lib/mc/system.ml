@@ -1,0 +1,13 @@
+module type S = sig
+  type state
+  type label
+
+  val initial : state
+  val successors : state -> (label * state) list
+  val equal_state : state -> state -> bool
+  val hash_state : state -> int
+  val pp_state : Format.formatter -> state -> unit
+  val pp_label : Format.formatter -> label -> unit
+end
+
+type ('s, 'l) t = (module S with type state = 's and type label = 'l)

@@ -1,0 +1,27 @@
+(** Interface between state-producing semantics and the explicit-state
+    checker.
+
+    Both the process-algebra semantics ({!Proc.Semantics}) and the
+    timed-automata semantics ({!Ta.Semantics}) expose their models through
+    this signature, so exploration, safety checking and counterexample
+    extraction are written once. *)
+
+module type S = sig
+  type state
+  type label
+
+  val initial : state
+  (** The initial configuration. *)
+
+  val successors : state -> (label * state) list
+  (** All enabled transitions of a configuration. *)
+
+  val equal_state : state -> state -> bool
+  val hash_state : state -> int
+
+  val pp_state : Format.formatter -> state -> unit
+  val pp_label : Format.formatter -> label -> unit
+end
+
+type ('s, 'l) t = (module S with type state = 's and type label = 'l)
+(** A system packaged as a first-class module. *)

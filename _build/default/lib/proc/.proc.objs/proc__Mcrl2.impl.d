@@ -1,0 +1,1 @@
+lib/proc/mcrl2.ml: Array Format Hashtbl List Pexpr Printf Spec String Term Value

@@ -1,0 +1,1 @@
+lib/proc/mcrl2.mli: Format Spec

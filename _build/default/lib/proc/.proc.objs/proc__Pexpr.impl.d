@@ -1,0 +1,1 @@
+lib/proc/pexpr.ml: Format List Value

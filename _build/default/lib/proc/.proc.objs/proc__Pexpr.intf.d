@@ -1,0 +1,1 @@
+lib/proc/pexpr.mli: Format Value

@@ -1,0 +1,1 @@
+lib/proc/semantics.ml: Array Format Hashtbl List Mc Pexpr Spec Term Value

@@ -1,0 +1,1 @@
+lib/proc/semantics.mli: Format Lts Mc Spec Value

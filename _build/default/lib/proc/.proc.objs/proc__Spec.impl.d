@@ -1,0 +1,1 @@
+lib/proc/spec.ml: Hashtbl List Printf Term Value

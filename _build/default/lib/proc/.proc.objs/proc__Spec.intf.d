@@ -1,0 +1,1 @@
+lib/proc/spec.mli: Term Value

@@ -1,0 +1,1 @@
+lib/proc/term.ml: Format Pexpr

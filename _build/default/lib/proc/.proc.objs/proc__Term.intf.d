@@ -1,0 +1,1 @@
+lib/proc/term.mli: Format Pexpr

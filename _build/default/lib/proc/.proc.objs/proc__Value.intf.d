@@ -1,0 +1,1 @@
+lib/proc/value.mli: Format

@@ -1,0 +1,261 @@
+(* mCRL2 pretty-printer for specifications.
+
+   Sorts are inferred: a small fixpoint propagates the sorts of the
+   initial component arguments through definition calls, and expression
+   shapes (arithmetic vs boolean operations) decide the rest.  Anything
+   still unknown defaults to Int. *)
+
+type sort = SInt | SBool | SList | SUnknown
+
+let sort_name = function
+  | SInt -> "Int"
+  | SBool -> "Bool"
+  | SList -> "List(Int)"
+  | SUnknown -> "Int"
+
+let join a b =
+  match (a, b) with
+  | SUnknown, s | s, SUnknown -> s
+  | s, s' when s = s' -> s
+  | _ -> SInt
+
+let sort_of_value = function
+  | Value.Bool _ -> SBool
+  | Value.Int _ -> SInt
+  | Value.List _ -> SList
+
+(* Sort of an expression under a (partial) variable-sort environment. *)
+let rec sort_of env (e : Pexpr.t) =
+  match e with
+  | Pexpr.Const v -> sort_of_value v
+  | Pexpr.Var x -> (
+      match List.assoc_opt x env with Some s -> s | None -> SUnknown)
+  | Pexpr.Add _ | Pexpr.Sub _ | Pexpr.Mul _ | Pexpr.Div _ | Pexpr.Min_list _
+  | Pexpr.Len _ ->
+      SInt
+  | Pexpr.Eq _ | Pexpr.Lt _ | Pexpr.Le _ | Pexpr.And _ | Pexpr.Or _
+  | Pexpr.Not _ ->
+      SBool
+  | Pexpr.If (_, a, b) -> join (sort_of env a) (sort_of env b)
+  | Pexpr.Nth _ -> SInt
+  | Pexpr.Set_nth _ | Pexpr.Repl _ -> SList
+
+(* Infer parameter sorts for every definition and argument sorts for
+   every action. *)
+let infer (spec : Spec.t) =
+  let def_sorts = Hashtbl.create 16 in
+  List.iter
+    (fun (d : Term.def) ->
+      Hashtbl.replace def_sorts d.Term.def_name
+        (Array.make (List.length d.Term.params) SUnknown))
+    spec.Spec.defs;
+  (* seed from the initial components *)
+  List.iter
+    (fun (name, values) ->
+      let sorts = Hashtbl.find def_sorts name in
+      List.iteri (fun k v -> sorts.(k) <- join sorts.(k) (sort_of_value v)) values)
+    spec.Spec.init;
+  let act_sorts = Hashtbl.create 32 in
+  let changed = ref true in
+  let iterations = ref 0 in
+  while !changed && !iterations < 10 do
+    changed := false;
+    incr iterations;
+    List.iter
+      (fun (d : Term.def) ->
+        let own = Hashtbl.find def_sorts d.Term.def_name in
+        let env =
+          List.mapi (fun k x -> (x, own.(k))) d.Term.params
+        in
+        let rec walk env (t : Term.t) =
+          match t with
+          | Term.Nil -> ()
+          | Term.Prefix (a, p) ->
+              let arity = List.length a.Term.act_args in
+              let sorts =
+                match Hashtbl.find_opt act_sorts a.Term.act_name with
+                | Some s when Array.length s = arity -> s
+                | _ ->
+                    let s = Array.make arity SUnknown in
+                    Hashtbl.replace act_sorts a.Term.act_name s;
+                    s
+              in
+              List.iteri
+                (fun k e ->
+                  let s = join sorts.(k) (sort_of env e) in
+                  if s <> sorts.(k) then begin
+                    sorts.(k) <- s;
+                    changed := true
+                  end)
+                a.Term.act_args;
+              walk env p
+          | Term.Choice ps -> List.iter (walk env) ps
+          | Term.Sum (x, _, _, p) -> walk ((x, SInt) :: env) p
+          | Term.Cond (_, p, q) ->
+              walk env p;
+              walk env q
+          | Term.Call (name, args) -> (
+              match Hashtbl.find_opt def_sorts name with
+              | None -> ()
+              | Some sorts ->
+                  List.iteri
+                    (fun k e ->
+                      if k < Array.length sorts then begin
+                        let s = join sorts.(k) (sort_of env e) in
+                        if s <> sorts.(k) then begin
+                          sorts.(k) <- s;
+                          changed := true
+                        end
+                      end)
+                    args)
+        in
+        walk env d.Term.body)
+      spec.Spec.defs
+  done;
+  (def_sorts, act_sorts)
+
+(* --- expression printing --- *)
+
+let rec pp_expr ppf (e : Pexpr.t) =
+  match e with
+  | Pexpr.Const (Value.Bool b) -> Format.pp_print_bool ppf b
+  | Pexpr.Const (Value.Int n) -> Format.pp_print_int ppf n
+  | Pexpr.Const (Value.List l) ->
+      Format.fprintf ppf "[%s]"
+        (String.concat ", " (List.map Value.to_string l))
+  | Pexpr.Var x -> Format.pp_print_string ppf x
+  | Pexpr.Add (a, b) -> Format.fprintf ppf "(%a + %a)" pp_expr a pp_expr b
+  | Pexpr.Sub (a, b) -> Format.fprintf ppf "(%a - %a)" pp_expr a pp_expr b
+  | Pexpr.Mul (a, b) -> Format.fprintf ppf "(%a * %a)" pp_expr a pp_expr b
+  | Pexpr.Div (a, b) -> Format.fprintf ppf "(%a div %a)" pp_expr a pp_expr b
+  | Pexpr.Eq (a, b) -> Format.fprintf ppf "(%a == %a)" pp_expr a pp_expr b
+  | Pexpr.Lt (a, b) -> Format.fprintf ppf "(%a < %a)" pp_expr a pp_expr b
+  | Pexpr.Le (a, b) -> Format.fprintf ppf "(%a <= %a)" pp_expr a pp_expr b
+  | Pexpr.And (a, b) -> Format.fprintf ppf "(%a && %a)" pp_expr a pp_expr b
+  | Pexpr.Or (a, b) -> Format.fprintf ppf "(%a || %a)" pp_expr a pp_expr b
+  | Pexpr.Not a -> Format.fprintf ppf "!(%a)" pp_expr a
+  | Pexpr.If (c, a, b) ->
+      Format.fprintf ppf "if(%a, %a, %a)" pp_expr c pp_expr a pp_expr b
+  | Pexpr.Nth (l, i) -> Format.fprintf ppf "(%a . %a)" pp_expr l pp_expr i
+  | Pexpr.Set_nth (l, i, x) ->
+      Format.fprintf ppf "set_nth(%a, %a, %a)" pp_expr l pp_expr i pp_expr x
+  | Pexpr.Min_list l -> Format.fprintf ppf "min_list(%a)" pp_expr l
+  | Pexpr.Len l -> Format.fprintf ppf "#(%a)" pp_expr l
+  | Pexpr.Repl (n, x) -> Format.fprintf ppf "repl(%a, %a)" pp_expr n pp_expr x
+
+(* --- process printing --- *)
+
+let pp_action ppf (a : Term.action) =
+  match a.Term.act_args with
+  | [] -> Format.pp_print_string ppf a.Term.act_name
+  | args ->
+      Format.fprintf ppf "%s(%s)" a.Term.act_name
+        (String.concat ", " (List.map (Format.asprintf "%a" pp_expr) args))
+
+let rec pp_term ppf (t : Term.t) =
+  match t with
+  | Term.Nil -> Format.pp_print_string ppf "delta"
+  | Term.Prefix (a, p) -> Format.fprintf ppf "%a . %a" pp_action a pp_factor p
+  | Term.Choice [] -> Format.pp_print_string ppf "delta"
+  | Term.Choice ps ->
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.fprintf ppf "@ + ")
+        pp_factor ppf ps
+  | Term.Sum (x, lo, hi, p) ->
+      Format.fprintf ppf "sum %s: Int . (%d <= %s && %s <= %d) -> %a" x lo x x
+        hi pp_factor p
+  | Term.Cond (c, p, Term.Nil) ->
+      Format.fprintf ppf "(%a) -> %a" pp_expr c pp_factor p
+  | Term.Cond (c, p, q) ->
+      Format.fprintf ppf "(%a) -> %a <> %a" pp_expr c pp_factor p pp_factor q
+  | Term.Call (name, []) -> Format.pp_print_string ppf name
+  | Term.Call (name, args) ->
+      Format.fprintf ppf "%s(%s)" name
+        (String.concat ", " (List.map (Format.asprintf "%a" pp_expr) args))
+
+and pp_factor ppf (t : Term.t) =
+  match t with
+  | Term.Choice (_ :: _ :: _) | Term.Sum _ | Term.Cond _ ->
+      Format.fprintf ppf "(%a)" pp_term t
+  | _ -> pp_term ppf t
+
+let pp ppf (spec : Spec.t) =
+  let def_sorts, act_sorts = infer spec in
+  Format.fprintf ppf "%% generated by hbproto (Proc.Mcrl2)@.";
+  Format.fprintf ppf
+    "%% note: the global tick is a multi-action synchronisation of all@.";
+  Format.fprintf ppf "%% components, allowed below as tick|...|tick.@.@.";
+  (* action declarations *)
+  let tick_used = Hashtbl.mem act_sorts Spec.tick_name in
+  let plain, sorted =
+    Hashtbl.fold
+      (fun name sorts (plain, sorted) ->
+        if Array.length sorts = 0 then (name :: plain, sorted)
+        else (plain, (name, sorts) :: sorted))
+      act_sorts ([], [])
+  in
+  (match List.sort compare plain with
+  | [] -> ()
+  | names -> Format.fprintf ppf "act %s;@." (String.concat ", " names));
+  List.iter
+    (fun (name, sorts) ->
+      Format.fprintf ppf "act %s: %s;@." name
+        (String.concat " # "
+           (List.map sort_name (Array.to_list sorts))))
+    (List.sort compare sorted);
+  Format.fprintf ppf "@.";
+  (* process equations *)
+  List.iter
+    (fun (d : Term.def) ->
+      let sorts = Hashtbl.find def_sorts d.Term.def_name in
+      (match d.Term.params with
+      | [] -> Format.fprintf ppf "proc %s =@." d.Term.def_name
+      | params ->
+          Format.fprintf ppf "proc %s(%s) =@." d.Term.def_name
+            (String.concat ", "
+               (List.mapi
+                  (fun k x -> Printf.sprintf "%s: %s" x (sort_name sorts.(k)))
+                  params)));
+      Format.fprintf ppf "  @[<hv>%a@];@.@." pp_term d.Term.body)
+    spec.Spec.defs;
+  (* init *)
+  let n = List.length spec.Spec.init in
+  let tick_multi =
+    if tick_used then
+      [ String.concat "|" (List.init n (fun _ -> Spec.tick_name)) ]
+    else []
+  in
+  let allow_set = tick_multi @ spec.Spec.allow in
+  let comm_set =
+    List.map (fun (s, r, c) -> Printf.sprintf "%s|%s -> %s" s r c)
+      spec.Spec.comms
+  in
+  let components =
+    List.map
+      (fun (name, values) ->
+        match values with
+        | [] -> name
+        | vs ->
+            Printf.sprintf "%s(%s)" name
+              (String.concat ", " (List.map Value.to_string vs)))
+      spec.Spec.init
+  in
+  Format.fprintf ppf "init@.";
+  let close = ref 0 in
+  if spec.Spec.hide <> [] then begin
+    Format.fprintf ppf "  hide({%s},@." (String.concat ", " spec.Spec.hide);
+    incr close
+  end;
+  Format.fprintf ppf "  allow({%s},@." (String.concat ", " allow_set);
+  incr close;
+  if comm_set <> [] then begin
+    Format.fprintf ppf "  comm({%s},@." (String.concat ", " comm_set);
+    incr close
+  end;
+  Format.fprintf ppf "    %s" (String.concat " || " components);
+  for _ = 1 to !close do
+    Format.fprintf ppf ")"
+  done;
+  Format.fprintf ppf ";@."
+
+let to_string spec = Format.asprintf "%a" pp spec

@@ -1,0 +1,15 @@
+(** Export of process-algebra specifications to mCRL2 syntax.
+
+    Produces a textual model a downstream user can load into the mCRL2
+    toolset (the one the paper used): action declarations, one [proc]
+    equation per definition, and an [init] line wiring the parallel
+    composition through [hide], [allow] and [comm].
+
+    Action argument sorts are inferred per action name from the argument
+    expressions at their occurrences (integer arithmetic implies [Int],
+    boolean operations [Bool]); actions never used with arguments are
+    declared plain.  Finite sums [sum x:[lo..hi]] are exported as
+    [sum x: Int . (lo <= x && x <= hi) -> ...]. *)
+
+val pp : Format.formatter -> Spec.t -> unit
+val to_string : Spec.t -> string

@@ -1,0 +1,99 @@
+type t =
+  | Const of Value.t
+  | Var of string
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Eq of t * t
+  | Lt of t * t
+  | Le of t * t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | If of t * t * t
+  | Nth of t * t
+  | Set_nth of t * t * t
+  | Min_list of t
+  | Len of t
+  | Repl of t * t
+
+type env = (string * Value.t) list
+
+let rec eval env (e : t) : Value.t =
+  match e with
+  | Const v -> v
+  | Var x -> (
+      match List.assoc_opt x env with
+      | Some v -> v
+      | None -> invalid_arg ("Proc.Pexpr.eval: unbound variable " ^ x))
+  | Add (a, b) -> Value.Int (eval_int env a + eval_int env b)
+  | Sub (a, b) -> Value.Int (eval_int env a - eval_int env b)
+  | Mul (a, b) -> Value.Int (eval_int env a * eval_int env b)
+  | Div (a, b) -> Value.Int (eval_int env a / eval_int env b)
+  | Eq (a, b) -> Value.Bool (Value.equal (eval env a) (eval env b))
+  | Lt (a, b) -> Value.Bool (eval_int env a < eval_int env b)
+  | Le (a, b) -> Value.Bool (eval_int env a <= eval_int env b)
+  | And (a, b) -> Value.Bool (eval_bool env a && eval_bool env b)
+  | Or (a, b) -> Value.Bool (eval_bool env a || eval_bool env b)
+  | Not a -> Value.Bool (not (eval_bool env a))
+  | If (c, a, b) -> if eval_bool env c then eval env a else eval env b
+  | Nth (l, i) -> (
+      let l = Value.to_list (eval env l) and i = eval_int env i in
+      match List.nth_opt l i with
+      | Some v -> v
+      | None -> invalid_arg "Proc.Pexpr.eval: list index out of bounds")
+  | Set_nth (l, i, x) ->
+      let l = Value.to_list (eval env l) and i = eval_int env i in
+      let x = eval env x in
+      if i < 0 || i >= List.length l then
+        invalid_arg "Proc.Pexpr.eval: list index out of bounds";
+      Value.List (List.mapi (fun j y -> if j = i then x else y) l)
+  | Min_list l -> (
+      match List.map Value.to_int (Value.to_list (eval env l)) with
+      | [] -> invalid_arg "Proc.Pexpr.eval: minimum of empty list"
+      | x :: rest -> Value.Int (List.fold_left min x rest))
+  | Len l -> Value.Int (List.length (Value.to_list (eval env l)))
+  | Repl (n, x) ->
+      let n = eval_int env n and x = eval env x in
+      if n < 0 then invalid_arg "Proc.Pexpr.eval: negative replication";
+      Value.List (List.init n (fun _ -> x))
+
+and eval_bool env e = Value.to_bool (eval env e)
+and eval_int env e = Value.to_int (eval env e)
+
+let tt = Const (Value.Bool true)
+let ff = Const (Value.Bool false)
+let int n = Const (Value.Int n)
+let v x = Var x
+let ( + ) a b = Add (a, b)
+let ( - ) a b = Sub (a, b)
+let ( / ) a b = Div (a, b)
+let ( = ) a b = Eq (a, b)
+let ( < ) a b = Lt (a, b)
+let ( <= ) a b = Le (a, b)
+let ( >= ) a b = Le (b, a)
+let ( && ) a b = And (a, b)
+let ( || ) a b = Or (a, b)
+let not_ a = Not a
+
+let rec pp ppf (e : t) =
+  match e with
+  | Const v -> Value.pp ppf v
+  | Var x -> Format.pp_print_string ppf x
+  | Add (a, b) -> Format.fprintf ppf "(%a + %a)" pp a pp b
+  | Sub (a, b) -> Format.fprintf ppf "(%a - %a)" pp a pp b
+  | Mul (a, b) -> Format.fprintf ppf "(%a * %a)" pp a pp b
+  | Div (a, b) -> Format.fprintf ppf "(%a div %a)" pp a pp b
+  | Eq (a, b) -> Format.fprintf ppf "(%a == %a)" pp a pp b
+  | Lt (a, b) -> Format.fprintf ppf "(%a < %a)" pp a pp b
+  | Le (a, b) -> Format.fprintf ppf "(%a <= %a)" pp a pp b
+  | And (a, b) -> Format.fprintf ppf "(%a && %a)" pp a pp b
+  | Or (a, b) -> Format.fprintf ppf "(%a || %a)" pp a pp b
+  | Not a -> Format.fprintf ppf "!(%a)" pp a
+  | If (c, a, b) -> Format.fprintf ppf "if(%a, %a, %a)" pp c pp a pp b
+  | Nth (l, i) -> Format.fprintf ppf "%a.%a" pp l pp i
+  | Set_nth (l, i, x) -> Format.fprintf ppf "set(%a, %a, %a)" pp l pp i pp x
+  | Min_list l -> Format.fprintf ppf "min(%a)" pp l
+  | Len l -> Format.fprintf ppf "len(%a)" pp l
+  | Repl (n, x) -> Format.fprintf ppf "repl(%a, %a)" pp n pp x

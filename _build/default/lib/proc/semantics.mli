@@ -1,0 +1,37 @@
+(** Operational semantics of parallel specifications.
+
+    Builds, from a {!Spec.t}, a {!Mc.System.t} whose states are vectors of
+    sequential-component configurations and whose labels are either the
+    global clock step {!Tick} or a (possibly hidden) action occurrence.
+    This is the role the mCRL2 linearisation + state-space generation
+    pipeline plays in the paper. *)
+
+type component
+(** A sequential component configuration: a process term plus an
+    environment for its data parameters. *)
+
+type state = component array
+
+type label =
+  | Tick  (** global clock step: every component ticks together *)
+  | Act of string * Value.t list
+      (** action occurrence; hidden actions appear as [Act ("tau", [])] *)
+
+val tau : label
+
+val label_name : label -> string
+(** ["tick"] for {!Tick}, the action name otherwise. *)
+
+val pp_label : Format.formatter -> label -> unit
+
+exception Unguarded_recursion of string
+(** Raised during exploration if unfolding a definition never reaches an
+    action prefix (the specification is not guarded). *)
+
+val system : Spec.t -> (state, label) Mc.System.t
+(** Compile a (validated) specification into an explorable system.
+    @raise Invalid_argument if {!Spec.validate} rejects the spec. *)
+
+val lts : ?max_states:int -> Spec.t -> label Lts.Graph.t
+(** Convenience: the reachable labelled transition system of the spec.
+    @raise Failure if [max_states] is exceeded. *)

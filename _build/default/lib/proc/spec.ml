@@ -1,0 +1,51 @@
+let tick_name = "tick"
+
+type t = {
+  defs : Term.def list;
+  init : (string * Value.t list) list;
+  comms : (string * string * string) list;
+  allow : string list;
+  hide : string list;
+}
+
+let validate spec =
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun (d : Term.def) ->
+      if Hashtbl.mem table d.Term.def_name then
+        invalid_arg ("Proc.Spec: duplicate definition " ^ d.Term.def_name);
+      Hashtbl.add table d.Term.def_name (List.length d.Term.params))
+    spec.defs;
+  let check_call context name arity =
+    match Hashtbl.find_opt table name with
+    | None -> invalid_arg ("Proc.Spec: unknown definition " ^ name ^ context)
+    | Some n ->
+        if n <> arity then
+          invalid_arg
+            (Printf.sprintf "Proc.Spec: %s expects %d arguments, got %d%s"
+               name n arity context)
+  in
+  List.iter
+    (fun (name, args) -> check_call " (initial component)" name (List.length args))
+    spec.init;
+  let rec check_term (t : Term.t) =
+    match t with
+    | Term.Nil -> ()
+    | Term.Prefix (_, p) -> check_term p
+    | Term.Choice ps -> List.iter check_term ps
+    | Term.Sum (_, lo, hi, p) ->
+        if lo > hi then invalid_arg "Proc.Spec: empty sum domain";
+        check_term p
+    | Term.Cond (_, p, q) ->
+        check_term p;
+        check_term q
+    | Term.Call (name, args) -> check_call "" name (List.length args)
+  in
+  List.iter (fun (d : Term.def) -> check_term d.Term.body) spec.defs;
+  List.iter
+    (fun (s, r, _) ->
+      if s = r then
+        invalid_arg ("Proc.Spec: communication of " ^ s ^ " with itself"))
+    spec.comms;
+  if List.mem tick_name spec.hide then
+    invalid_arg "Proc.Spec: tick cannot be hidden"

@@ -1,0 +1,34 @@
+(** Parallel specifications: components, communication and abstraction.
+
+    A specification composes sequential processes ({!Term}) in parallel,
+    mCRL2 style: a communication function turns matching send/receive
+    action pairs (with equal data) into a result action, an allow set
+    restricts which action names may appear (so unmatched sends and
+    receives are blocked, enforcing synchronisation), and a hide set
+    renames result actions to the internal action [tau].
+
+    Time is discrete: the distinguished action name {!tick_name} is a
+    global synchronisation — a tick step is possible only when every
+    component offers one, which is how the paper's specifications make
+    watchdogs urgent (a watchdog at its limit refuses to tick, forcing its
+    timeout action to happen before time advances). *)
+
+val tick_name : string
+(** ["tick"] — the globally-synchronised clock action. *)
+
+type t = {
+  defs : Term.def list;  (** recursive process definitions *)
+  init : (string * Value.t list) list;
+      (** the parallel components, as instantiated definition calls *)
+  comms : (string * string * string) list;
+      (** [(send, recv, result)] communication triples *)
+  allow : string list;
+      (** action names allowed to occur (besides [tick]); everything else —
+          in particular unmatched communication halves — is blocked *)
+  hide : string list;  (** result actions renamed to [tau] *)
+}
+
+val validate : t -> unit
+(** Check that all called definitions exist, arities match, and the allow /
+    hide / comm sets are consistent.
+    @raise Invalid_argument otherwise. *)

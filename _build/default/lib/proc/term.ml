@@ -1,0 +1,45 @@
+type action = { act_name : string; act_args : Pexpr.t list }
+
+type t =
+  | Nil
+  | Prefix of action * t
+  | Choice of t list
+  | Sum of string * int * int * t
+  | Cond of Pexpr.t * t * t
+  | Call of string * Pexpr.t list
+
+type def = { def_name : string; params : string list; body : t }
+
+let def def_name params body = { def_name; params; body }
+let act act_name act_args = { act_name; act_args }
+let ( @. ) a p = Prefix (a, p)
+let choice ps = Choice ps
+let cond c p q = Cond (c, p, q)
+let when_ c p = Cond (c, p, Nil)
+let call name args = Call (name, args)
+
+let rec pp ppf = function
+  | Nil -> Format.pp_print_string ppf "delta"
+  | Prefix (a, p) ->
+      Format.fprintf ppf "%s%a.%a" a.act_name pp_args a.act_args pp p
+  | Choice ps ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " + ")
+           pp)
+        ps
+  | Sum (x, lo, hi, p) ->
+      Format.fprintf ppf "sum %s:[%d..%d].%a" x lo hi pp p
+  | Cond (c, p, Nil) -> Format.fprintf ppf "(%a) -> %a" Pexpr.pp c pp p
+  | Cond (c, p, q) ->
+      Format.fprintf ppf "(%a) -> %a <> %a" Pexpr.pp c pp p pp q
+  | Call (name, args) -> Format.fprintf ppf "%s%a" name pp_args args
+
+and pp_args ppf = function
+  | [] -> ()
+  | args ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           Pexpr.pp)
+        args

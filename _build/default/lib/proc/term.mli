@@ -1,0 +1,33 @@
+(** Process terms and recursive definitions, mCRL2 style.
+
+    A sequential process is built from deadlock, action prefix,
+    nondeterministic choice, finite sums, data conditions, and calls to
+    named recursive definitions with data parameters.  Parallel composition
+    and communication live at the specification level ({!Spec}). *)
+
+type action = { act_name : string; act_args : Pexpr.t list }
+
+type t =
+  | Nil  (** deadlock: offers nothing *)
+  | Prefix of action * t  (** [a(e1,..,ek) . P] *)
+  | Choice of t list  (** [P1 + ... + Pn] *)
+  | Sum of string * int * int * t
+      (** [sum x : \[lo..hi\] . P] — finite data sum *)
+  | Cond of Pexpr.t * t * t  (** [c -> P <> Q] *)
+  | Call of string * Pexpr.t list  (** instantiation of a definition *)
+
+type def = { def_name : string; params : string list; body : t }
+
+val def : string -> string list -> t -> def
+
+(** {2 Construction helpers} *)
+
+val act : string -> Pexpr.t list -> action
+val ( @. ) : action -> t -> t  (** prefix *)
+
+val choice : t list -> t
+val cond : Pexpr.t -> t -> t -> t
+val when_ : Pexpr.t -> t -> t  (** [cond c p Nil] *)
+
+val call : string -> Pexpr.t list -> t
+val pp : Format.formatter -> t -> unit

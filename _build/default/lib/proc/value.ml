@@ -1,0 +1,34 @@
+type t = Bool of bool | Int of int | List of t list
+
+let bool b = Bool b
+let int n = Int n
+let list l = List l
+
+let type_name = function Bool _ -> "bool" | Int _ -> "int" | List _ -> "list"
+
+let to_bool = function
+  | Bool b -> b
+  | v -> invalid_arg ("Proc.Value.to_bool: got a " ^ type_name v)
+
+let to_int = function
+  | Int n -> n
+  | v -> invalid_arg ("Proc.Value.to_int: got a " ^ type_name v)
+
+let to_list = function
+  | List l -> l
+  | v -> invalid_arg ("Proc.Value.to_list: got a " ^ type_name v)
+
+let equal = ( = )
+let compare = compare
+
+let rec pp ppf = function
+  | Bool b -> Format.pp_print_bool ppf b
+  | Int n -> Format.pp_print_int ppf n
+  | List l ->
+      Format.fprintf ppf "[%a]"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+           pp)
+        l
+
+let to_string v = Format.asprintf "%a" pp v

@@ -1,0 +1,1 @@
+lib/sim/loss.ml: Printf Rng

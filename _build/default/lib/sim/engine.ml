@@ -1,0 +1,56 @@
+type event = { action : unit -> unit; mutable cancelled : bool; seq : int }
+
+type t = {
+  mutable clock : float;
+  mutable queue : event Heap.t;
+  mutable executed : int;
+  mutable next_seq : int;
+  rng : Rng.t;
+}
+
+type timer = event
+
+let create ?(seed = 1L) () =
+  {
+    clock = 0.0;
+    queue = Heap.empty;
+    executed = 0;
+    next_seq = 0;
+    rng = Rng.create seed;
+  }
+
+let now t = t.clock
+let rng t = t.rng
+
+let at t ~time action =
+  if time < t.clock then invalid_arg "Sim.Engine.at: time in the past";
+  let ev = { action; cancelled = false; seq = t.next_seq } in
+  t.next_seq <- t.next_seq + 1;
+  t.queue <- Heap.insert time ev t.queue;
+  ev
+
+let schedule t ~delay action =
+  if delay < 0.0 then invalid_arg "Sim.Engine.schedule: negative delay";
+  at t ~time:(t.clock +. delay) action
+
+let cancel ev = ev.cancelled <- true
+
+let run ?(until = infinity) ?(max_events = max_int) t =
+  let continue = ref true in
+  while !continue do
+    match Heap.pop t.queue with
+    | None -> continue := false
+    | Some ((time, ev), rest) ->
+        if time > until then continue := false
+        else begin
+          t.queue <- rest;
+          if not ev.cancelled then begin
+            t.clock <- time;
+            t.executed <- t.executed + 1;
+            ev.action ();
+            if t.executed >= max_events then continue := false
+          end
+        end
+  done
+
+let events_executed t = t.executed

@@ -1,0 +1,36 @@
+(** Discrete-event simulation engine.
+
+    Events are closures scheduled at absolute simulated times; running the
+    engine executes them in time order.  Timers can be cancelled (needed by
+    heartbeat processes, which constantly re-arm timeouts). *)
+
+type t
+
+val create : ?seed:int64 -> unit -> t
+(** Fresh engine at time 0; the seed (default 1) drives {!rng}. *)
+
+val now : t -> float
+(** Current simulated time. *)
+
+val rng : t -> Rng.t
+(** The engine's random stream. *)
+
+type timer
+
+val schedule : t -> delay:float -> (unit -> unit) -> timer
+(** [schedule t ~delay f] runs [f] at time [now t +. delay].
+    @raise Invalid_argument if [delay < 0]. *)
+
+val at : t -> time:float -> (unit -> unit) -> timer
+(** Schedule at an absolute time (not before [now]). *)
+
+val cancel : timer -> unit
+(** Cancelling a fired or already-cancelled timer is a no-op. *)
+
+val run : ?until:float -> ?max_events:int -> t -> unit
+(** Execute events in time order until the queue drains, simulated time
+    would exceed [until], or [max_events] events have run.  Events at the
+    simulation horizon [until] itself still execute. *)
+
+val events_executed : t -> int
+(** Number of events executed so far (cancelled timers excluded). *)

@@ -1,0 +1,22 @@
+(** Minimum-priority queue (pairing heap) keyed by float priorities.
+
+    The event queue of the discrete-event engine.  A pairing heap gives
+    O(1) insert and amortised O(log n) delete-min without any external
+    dependency. *)
+
+type 'a t
+
+val empty : 'a t
+val is_empty : 'a t -> bool
+val insert : float -> 'a -> 'a t -> 'a t
+val find_min : 'a t -> (float * 'a) option
+val delete_min : 'a t -> 'a t
+(** @raise Invalid_argument on an empty heap. *)
+
+val pop : 'a t -> ((float * 'a) * 'a t) option
+val size : 'a t -> int
+(** O(n); intended for diagnostics and tests. *)
+
+val of_list : (float * 'a) list -> 'a t
+val to_sorted_list : 'a t -> (float * 'a) list
+(** Drain into a priority-sorted list (stable only per priority class). *)

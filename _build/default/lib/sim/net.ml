@@ -1,0 +1,50 @@
+type 'a t = {
+  engine : Engine.t;
+  model : Loss.t;
+  loss_state : Loss.state;
+  delay_lo : float;
+  delay_hi : float;
+  deliver : 'a -> unit;
+  mutable is_up : bool;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable lost : int;
+}
+
+let create engine ?(loss = 0.0) ?model ~delay_lo ~delay_hi ~deliver () =
+  if delay_lo < 0.0 || delay_hi < delay_lo then
+    invalid_arg "Sim.Net.create: bad delay range";
+  if loss < 0.0 || loss > 1.0 then invalid_arg "Sim.Net.create: bad loss rate";
+  let model = match model with Some m -> m | None -> Loss.bernoulli loss in
+  Loss.validate model;
+  {
+    engine;
+    model;
+    loss_state = Loss.start model;
+    delay_lo;
+    delay_hi;
+    deliver;
+    is_up = true;
+    sent = 0;
+    delivered = 0;
+    lost = 0;
+  }
+
+let send t msg =
+  t.sent <- t.sent + 1;
+  if (not t.is_up) || Loss.drops t.model t.loss_state (Engine.rng t.engine)
+  then
+    t.lost <- t.lost + 1
+  else begin
+    let delay = Rng.uniform (Engine.rng t.engine) t.delay_lo t.delay_hi in
+    ignore
+      (Engine.schedule t.engine ~delay (fun () ->
+           t.delivered <- t.delivered + 1;
+           t.deliver msg))
+  end
+
+let up t = t.is_up
+let set_up t b = t.is_up <- b
+let sent t = t.sent
+let delivered t = t.delivered
+let lost t = t.lost

@@ -1,0 +1,41 @@
+(** Lossy, delaying point-to-point links for simulations.
+
+    Matches the paper's channel assumptions: a message is either lost or
+    delivered within a bounded delay; the bound [tmin] of the protocols is
+    an upper bound on the *round-trip* delay, so each direction of a link
+    is given half the budget by the callers. *)
+
+type 'a t
+
+val create :
+  Engine.t ->
+  ?loss:float ->
+  ?model:Loss.t ->
+  delay_lo:float ->
+  delay_hi:float ->
+  deliver:('a -> unit) ->
+  unit ->
+  'a t
+(** [create engine ~loss ~delay_lo ~delay_hi ~deliver ()] builds a
+    unidirectional link.  Each sent message is dropped according to the
+    loss model — [model] if given, otherwise Bernoulli with probability
+    [loss] (default 0) — and otherwise delivered after a uniform random
+    delay in [\[delay_lo, delay_hi\]].
+    @raise Invalid_argument on a negative delay, [delay_hi < delay_lo], or
+    an invalid loss model. *)
+
+val send : 'a t -> 'a -> unit
+
+val up : 'a t -> bool
+val set_up : 'a t -> bool -> unit
+(** Taking a link down silently drops everything sent afterwards (messages
+    already in flight still arrive) — used to model channel crashes. *)
+
+val sent : 'a t -> int
+(** Messages handed to the link. *)
+
+val delivered : 'a t -> int
+(** Messages actually delivered so far. *)
+
+val lost : 'a t -> int
+(** Messages dropped (by loss or a down link). *)

@@ -1,0 +1,28 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    A small, self-contained PRNG so simulation experiments are reproducible
+    from a seed and independent of the OCaml standard library's generator. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] builds a generator; equal seeds give equal streams. *)
+
+val split : t -> t
+(** A statistically independent generator derived from the current state. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val bool : t -> float -> bool
+(** [bool t p] is true with probability [p]. *)
+
+val uniform : t -> float -> float -> float
+(** [uniform t lo hi] is uniform in [\[lo, hi)]. *)

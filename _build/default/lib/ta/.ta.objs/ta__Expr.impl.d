@@ -1,0 +1,1 @@
+lib/ta/expr.ml: Format List

@@ -1,0 +1,1 @@
+lib/ta/model.ml: Expr

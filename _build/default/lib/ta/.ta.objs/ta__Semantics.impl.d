@@ -1,0 +1,1 @@
+lib/ta/semantics.ml: Array Expr Format Hashtbl List Mc Model Option

@@ -1,0 +1,1 @@
+lib/ta/semantics.mli: Format Mc Model

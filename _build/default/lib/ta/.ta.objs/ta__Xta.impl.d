@@ -1,0 +1,1 @@
+lib/ta/xta.ml: Expr Format List Model String

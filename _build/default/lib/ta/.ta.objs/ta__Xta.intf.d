@@ -1,0 +1,1 @@
+lib/ta/xta.mli: Format Model

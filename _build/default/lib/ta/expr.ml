@@ -1,0 +1,70 @@
+type t =
+  | Int of int
+  | Var of string
+  | Elem of string * t
+  | Clock of string
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Min of t * t
+  | Max of t * t
+
+type cmp = Lt | Le | Eq | Ge | Gt | Ne
+
+type b =
+  | True
+  | False
+  | Cmp of cmp * t * t
+  | Not of b
+  | And of b * b
+  | Or of b * b
+
+let i n = Int n
+let v name = Var name
+let clk name = Clock name
+let ( + ) a b = Add (a, b)
+let ( - ) a b = Sub (a, b)
+let ( * ) a b = Mul (a, b)
+let ( / ) a b = Div (a, b)
+let ( < ) a b = Cmp (Lt, a, b)
+let ( <= ) a b = Cmp (Le, a, b)
+let ( = ) a b = Cmp (Eq, a, b)
+let ( >= ) a b = Cmp (Ge, a, b)
+let ( > ) a b = Cmp (Gt, a, b)
+let ( <> ) a b = Cmp (Ne, a, b)
+let ( && ) a b = And (a, b)
+let ( || ) a b = Or (a, b)
+let not_ b = Not b
+let conj = List.fold_left ( && ) True
+let is_true e = Cmp (Ne, e, Int 0)
+
+let rec pp ppf = function
+  | Int n -> Format.pp_print_int ppf n
+  | Var name -> Format.pp_print_string ppf name
+  | Elem (name, e) -> Format.fprintf ppf "%s[%a]" name pp e
+  | Clock name -> Format.pp_print_string ppf name
+  | Add (a, b) -> Format.fprintf ppf "(%a + %a)" pp a pp b
+  | Sub (a, b) -> Format.fprintf ppf "(%a - %a)" pp a pp b
+  | Mul (a, b) -> Format.fprintf ppf "(%a * %a)" pp a pp b
+  | Div (a, b) -> Format.fprintf ppf "(%a / %a)" pp a pp b
+  | Min (a, b) -> Format.fprintf ppf "min(%a, %a)" pp a pp b
+  | Max (a, b) -> Format.fprintf ppf "max(%a, %a)" pp a pp b
+
+let pp_cmp ppf c =
+  Format.pp_print_string ppf
+    (match c with
+    | Lt -> "<"
+    | Le -> "<="
+    | Eq -> "=="
+    | Ge -> ">="
+    | Gt -> ">"
+    | Ne -> "!=")
+
+let rec pp_b ppf = function
+  | True -> Format.pp_print_string ppf "true"
+  | False -> Format.pp_print_string ppf "false"
+  | Cmp (c, a, b) -> Format.fprintf ppf "%a %a %a" pp a pp_cmp c pp b
+  | Not b -> Format.fprintf ppf "!(%a)" pp_b b
+  | And (a, b) -> Format.fprintf ppf "(%a && %a)" pp_b a pp_b b
+  | Or (a, b) -> Format.fprintf ppf "(%a || %a)" pp_b a pp_b b

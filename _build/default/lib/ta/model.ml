@@ -1,0 +1,51 @@
+type loc_kind = Normal | Urgent | Committed
+
+type location = {
+  loc_name : string;
+  kind : loc_kind;
+  invariant : Expr.b;
+}
+
+let loc ?(kind = Normal) ?(invariant = Expr.True) loc_name =
+  { loc_name; kind; invariant }
+
+type sync = Tau | Send of string | Recv of string
+type lhs = Scalar of string | Element of string * Expr.t
+type update = Assign of lhs * Expr.t | Reset of string
+
+type edge = {
+  src : string;
+  guard : Expr.b;
+  sync : sync;
+  updates : update list;
+  dst : string;
+  act : string option;
+}
+
+let edge ?(guard = Expr.True) ?(sync = Tau) ?(updates = []) ?act ~src ~dst ()
+    =
+  { src; guard; sync; updates; dst; act }
+
+type automaton = {
+  auto_name : string;
+  locations : location list;
+  edges : edge list;
+  init_loc : string;
+}
+
+type var_decl = { var_name : string; init : int list }
+
+let scalar var_name value = { var_name; init = [ value ] }
+let array var_name init = { var_name; init }
+
+type clock_decl = { clock_name : string; cap : int }
+type chan_decl = { chan_name : string; broadcast : bool }
+
+let chan ?(broadcast = false) chan_name = { chan_name; broadcast }
+
+type t = {
+  vars : var_decl list;
+  clocks : clock_decl list;
+  chans : chan_decl list;
+  automata : automaton list;
+}

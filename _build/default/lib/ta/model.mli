@@ -1,0 +1,86 @@
+(** Timed-automata networks, UPPAAL style.
+
+    A network is a set of automata composed in parallel, communicating by
+    handshake or broadcast channels and through shared bounded integer
+    variables, with integer-valued clocks that advance in lockstep (the
+    discrete-time semantics lives in {!Semantics}).
+
+    Locations can be [Urgent] (time may not pass while occupied) or
+    [Committed] (time may not pass, and the next transition must involve a
+    committed location) — both are used by the paper's models. *)
+
+type loc_kind = Normal | Urgent | Committed
+
+type location = {
+  loc_name : string;
+  kind : loc_kind;
+  invariant : Expr.b;  (** must hold whenever the location is occupied *)
+}
+
+val loc : ?kind:loc_kind -> ?invariant:Expr.b -> string -> location
+(** Location constructor; default kind [Normal], default invariant true. *)
+
+type sync =
+  | Tau  (** internal step *)
+  | Send of string  (** [c!] *)
+  | Recv of string  (** [c?] *)
+
+type lhs = Scalar of string | Element of string * Expr.t
+
+type update =
+  | Assign of lhs * Expr.t  (** variable assignment, evaluated in order *)
+  | Reset of string  (** clock reset to 0 *)
+
+type edge = {
+  src : string;
+  guard : Expr.b;
+  sync : sync;
+  updates : update list;
+  dst : string;
+  act : string option;
+      (** optional action name shown on transition labels; defaults to the
+          channel name (or ["tau"]) *)
+}
+
+val edge :
+  ?guard:Expr.b ->
+  ?sync:sync ->
+  ?updates:update list ->
+  ?act:string ->
+  src:string ->
+  dst:string ->
+  unit ->
+  edge
+
+type automaton = {
+  auto_name : string;
+  locations : location list;
+  edges : edge list;
+  init_loc : string;
+}
+
+type var_decl = {
+  var_name : string;
+  init : int list;  (** one element for scalars, [n] for arrays *)
+}
+
+val scalar : string -> int -> var_decl
+val array : string -> int list -> var_decl
+
+type clock_decl = {
+  clock_name : string;
+  cap : int;
+      (** values saturate at [cap]; must exceed every constant the clock is
+          compared against for the saturation to be sound *)
+}
+
+type chan_decl = { chan_name : string; broadcast : bool }
+
+val chan : ?broadcast:bool -> string -> chan_decl
+
+type t = {
+  vars : var_decl list;
+  clocks : clock_decl list;
+  chans : chan_decl list;
+  automata : automaton list;
+}

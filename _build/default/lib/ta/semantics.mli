@@ -1,0 +1,48 @@
+(** Discrete-time operational semantics of timed-automata networks.
+
+    Time is modelled by explicit unit-delay steps ({!Delay} labels): all
+    clocks advance by one together, and a delay is enabled only when no
+    urgent or committed location is occupied and every location invariant
+    still holds afterwards.  Clock values saturate at their declared cap,
+    which keeps the state space finite; the saturation is sound as long as
+    each cap exceeds every constant its clock is compared against.  For the
+    closed (non-strict) constraints used by the paper's models, this
+    digitised semantics reaches the same locations as UPPAAL's dense-time
+    semantics.
+
+    Action steps follow UPPAAL's rules: internal edges, binary handshake
+    (sender updates applied before receiver updates), broadcast (all
+    enabled receivers participate), and committed-location priority. *)
+
+type config
+(** A network configuration: locations, clock values and variable values. *)
+
+type label = Delay | Act of string
+
+type t
+(** A compiled network: name resolution and guard/update compilation are
+    done once, up front. *)
+
+val compile : Model.t -> t
+(** Compile a network.
+    @raise Invalid_argument on unknown names, duplicate declarations, or an
+    initial configuration violating an invariant. *)
+
+val system : t -> (config, label) Mc.System.t
+(** Package the compiled network for the explorer. *)
+
+val initial : t -> config
+
+val successors : t -> config -> (label * config) list
+
+(** {2 Observations on configurations} (for state predicates) *)
+
+val loc_is : t -> auto:string -> loc:string -> config -> bool
+(** Is the given automaton in the given location? *)
+
+val var : t -> string -> config -> int
+val elem : t -> string -> int -> config -> int
+val clock : t -> string -> config -> int
+
+val pp_config : t -> Format.formatter -> config -> unit
+val pp_label : Format.formatter -> label -> unit

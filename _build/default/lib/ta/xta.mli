@@ -1,0 +1,18 @@
+(** Export of timed-automata networks to UPPAAL's textual [.xta] format.
+
+    Lets a downstream user load the models built here into the real
+    UPPAAL tool (the one the paper used).  The discrete-time semantics of
+    {!Semantics} and UPPAAL's dense-time semantics agree on location
+    reachability for these models because all constraints are closed, so
+    the exported model checks the same properties.
+
+    Notes on the mapping: clocks and variables become global
+    declarations; [Min]/[Max] expressions use UPPAAL's [<?] / [>?]
+    operators; clock caps are a state-space device of our checker and do
+    not appear in the export. *)
+
+val pp : Format.formatter -> Model.t -> unit
+(** Print the network as a self-contained [.xta] document (declarations,
+    one [process] per automaton, and the [system] line). *)
+
+val to_string : Model.t -> string

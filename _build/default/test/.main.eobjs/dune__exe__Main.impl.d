@@ -1,0 +1,1 @@
+test/main.ml: Alcotest Test_export Test_fd Test_heartbeat Test_lts Test_mc Test_proc Test_runtime Test_sim Test_ta

@@ -1,0 +1,1 @@
+test/test_export.ml: Alcotest Heartbeat List Proc String Ta

@@ -1,0 +1,1 @@
+test/test_heartbeat.ml: Alcotest Format Heartbeat List Lts Mc Printf QCheck QCheck_alcotest String Ta

@@ -1,0 +1,1 @@
+test/test_lts.ml: Alcotest Array Char Format List Lts Printf QCheck QCheck_alcotest String

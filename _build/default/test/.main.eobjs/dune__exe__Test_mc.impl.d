@@ -1,0 +1,1 @@
+test/test_mc.ml: Alcotest Array Char Format Hashtbl Int List Lts Mc Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_proc.ml: Alcotest Format List Lts Mc Proc QCheck QCheck_alcotest String

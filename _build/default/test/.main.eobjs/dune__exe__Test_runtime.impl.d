@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Heartbeat List Printf Sim

@@ -1,0 +1,1 @@
+test/test_ta.ml: Alcotest List Mc Printf QCheck QCheck_alcotest Ta

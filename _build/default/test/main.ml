@@ -1,0 +1,15 @@
+(* Aggregate test runner for all suites. *)
+
+let () =
+  Alcotest.run "hbproto"
+    [
+      Test_lts.tests;
+      Test_mc.tests;
+      Test_proc.tests;
+      Test_ta.tests;
+      Test_sim.tests;
+      Test_heartbeat.tests;
+      Test_export.tests;
+      Test_runtime.tests;
+      Test_fd.tests;
+    ]

@@ -1,0 +1,100 @@
+(* Tests for the UPPAAL (.xta) and mCRL2 exporters. *)
+
+let check = Alcotest.check
+module H = Heartbeat
+
+let contains haystack needle =
+  let n = String.length haystack and m = String.length needle in
+  let rec go i = i + m <= n && (String.sub haystack i m = needle || go (i + 1)) in
+  go 0
+
+let params = H.Params.make ~tmin:1 ~tmax:2 ()
+
+let test_xta_structure () =
+  let s = Ta.Xta.to_string (H.Ta_models.build H.Ta_models.Binary params) in
+  List.iter
+    (fun needle ->
+      check Alcotest.bool ("contains " ^ needle) true (contains s needle))
+    [
+      "int t = 2;";
+      "clock w0;";
+      "broadcast chan snd0;";
+      "chan snd1_1;";
+      "process P0() {";
+      "Alive { w0 <= t }";
+      "urgent TimeOut;";
+      "init Alive;";
+      "guard w0 == t;";
+      "sync snd0!;";
+      "sync dlv1_1?;";
+      "system P0, P1, Ch0_1, Ch1_1;";
+    ]
+
+let test_xta_min_operator () =
+  (* static with two participants uses min over the waiting times, which
+     must come out as UPPAAL's <? operator *)
+  let p2 = H.Params.make ~n:2 ~tmin:1 ~tmax:2 () in
+  let s = Ta.Xta.to_string (H.Ta_models.build H.Ta_models.Static p2) in
+  check Alcotest.bool "min exported as <?" true (contains s "<?")
+
+let test_xta_arrays_and_monitors () =
+  let s =
+    Ta.Xta.to_string
+      (H.Ta_models.build ~with_r1_monitors:true H.Ta_models.Binary params)
+  in
+  check Alcotest.bool "monitor process" true (contains s "process M1() {");
+  check Alcotest.bool "error location" true (contains s "Error")
+
+let test_mcrl2_structure () =
+  let s = Proc.Mcrl2.to_string (H.Pa_models.build H.Pa_models.Binary params) in
+  List.iter
+    (fun needle ->
+      check Alcotest.bool ("contains " ^ needle) true (contains s needle))
+    [
+      "act s_arm: Int;";
+      "proc P0(active: Bool, t: Int, rcvd1: Bool, tm1: Int) =";
+      "proc SW0Armed(c: Int, lim: Int) =";
+      "sum x: Int . (1 <= x && x <= 2) -> r_arm(x)";
+      "init";
+      "allow({tick|tick";
+      "comm({";
+      "s_beat0|r_beat0 -> beat0";
+      "P0(true, 2, true, 2)";
+    ]
+
+let test_mcrl2_sort_inference () =
+  (* The dynamic protocol's p0 has a gone flag seeded from the init
+     values; inference must type it Bool. *)
+  let s = Proc.Mcrl2.to_string (H.Pa_models.build H.Pa_models.Dynamic params) in
+  check Alcotest.bool "gone is Bool" true (contains s "gone1: Bool");
+  check Alcotest.bool "jnd is Bool" true (contains s "jnd1: Bool")
+
+let test_exports_for_all_variants () =
+  (* Exports are total: every variant produces a non-trivial document. *)
+  List.iter
+    (fun v ->
+      let xta = Ta.Xta.to_string (H.Ta_models.build v params) in
+      check Alcotest.bool
+        (H.Ta_models.variant_name v ^ " xta")
+        true
+        (String.length xta > 200);
+      match H.Pa_models.of_ta v with
+      | Some pv ->
+          let m = Proc.Mcrl2.to_string (H.Pa_models.build pv params) in
+          check Alcotest.bool
+            (H.Ta_models.variant_name v ^ " mcrl2")
+            true
+            (String.length m > 200)
+      | None -> ())
+    H.Ta_models.all_variants
+
+let tests =
+  ( "export",
+    [
+      Alcotest.test_case "xta structure" `Quick test_xta_structure;
+      Alcotest.test_case "xta min operator" `Quick test_xta_min_operator;
+      Alcotest.test_case "xta monitors" `Quick test_xta_arrays_and_monitors;
+      Alcotest.test_case "mcrl2 structure" `Quick test_mcrl2_structure;
+      Alcotest.test_case "mcrl2 sort inference" `Quick test_mcrl2_sort_inference;
+      Alcotest.test_case "exports are total" `Quick test_exports_for_all_variants;
+    ] )

@@ -1,0 +1,279 @@
+(* Tests for the LTS substrate: graph construction, queries, reductions
+   and dot export. *)
+
+let check = Alcotest.check
+let diamond = [ (0, "a", 1); (0, "b", 2); (1, "c", 3); (2, "c", 3) ]
+
+let mk ?(initial = 0) ?(n = 4) trans =
+  Lts.Graph.make ~num_states:n ~initial trans
+
+let test_make_valid () =
+  let g = mk diamond in
+  check Alcotest.int "states" 4 (Lts.Graph.num_states g);
+  check Alcotest.int "transitions" 4 (Lts.Graph.num_transitions g);
+  check Alcotest.int "initial" 0 (Lts.Graph.initial g)
+
+let test_make_out_of_range () =
+  Alcotest.check_raises "bad target"
+    (Invalid_argument "Lts.Graph.make: state 7 out of range") (fun () ->
+      ignore (mk [ (0, "a", 7) ]))
+
+let test_successors_order () =
+  let g = mk diamond in
+  check
+    Alcotest.(list (pair string int))
+    "succ 0"
+    [ ("a", 1); ("b", 2) ]
+    (Lts.Graph.successors g 0);
+  check Alcotest.(list (pair string int)) "succ 3" [] (Lts.Graph.successors g 3)
+
+let test_labels_dedup () =
+  let g = mk diamond in
+  check Alcotest.(list string) "labels" [ "a"; "b"; "c" ] (Lts.Graph.labels g)
+
+let test_deadlocks () =
+  let g = mk diamond in
+  check Alcotest.(list int) "deadlocks" [ 3 ] (Lts.Graph.deadlocks g)
+
+let test_reachable () =
+  let g = mk ~n:5 diamond in
+  let r = Lts.Graph.reachable g in
+  check Alcotest.(list bool) "reachable" [ true; true; true; true; false ]
+    (Array.to_list r)
+
+let test_restrict () =
+  let g = mk ~n:6 diamond in
+  let g', map = Lts.Graph.restrict_to_reachable g in
+  check Alcotest.int "restricted states" 4 (Lts.Graph.num_states g');
+  check Alcotest.int "dropped" (-1) map.(5);
+  check Alcotest.int "transitions kept" 4 (Lts.Graph.num_transitions g')
+
+let test_map_labels () =
+  let g = mk diamond in
+  let g' = Lts.Graph.map_labels String.uppercase_ascii g in
+  check Alcotest.(list string) "mapped" [ "A"; "B"; "C" ] (Lts.Graph.labels g')
+
+let test_trace_to () =
+  let g = mk diamond in
+  (match Lts.Graph.trace_to g (fun s -> s = 3) with
+  | Some w -> check Alcotest.int "shortest length" 2 (List.length w)
+  | None -> Alcotest.fail "expected a trace");
+  check Alcotest.bool "unreachable" true
+    (Lts.Graph.trace_to (mk ~n:5 diamond) (fun s -> s = 4) = None);
+  check Alcotest.bool "initial goal" true
+    (Lts.Graph.trace_to g (fun s -> s = 0) = Some [])
+
+let test_has_trace () =
+  let g = mk diamond in
+  let eq = String.equal in
+  check Alcotest.bool "a.c" true (Lts.Graph.has_trace g ~eq [ "a"; "c" ]);
+  check Alcotest.bool "b.c" true (Lts.Graph.has_trace g ~eq [ "b"; "c" ]);
+  check Alcotest.bool "c first" false (Lts.Graph.has_trace g ~eq [ "c" ]);
+  check Alcotest.bool "empty" true (Lts.Graph.has_trace g ~eq [])
+
+let test_fold () =
+  let g = mk diamond in
+  let total = Lts.Graph.fold_transitions (fun _ _ _ n -> n + 1) g 0 in
+  check Alcotest.int "fold counts" 4 total
+
+(* --- minimisation --- *)
+
+let test_strong_merges_equivalent () =
+  (* Two branches with identical futures collapse. *)
+  let g = mk diamond in
+  let q, map = Lts.Minimize.strong g in
+  check Alcotest.int "quotient size" 3 (Lts.Graph.num_states q);
+  check Alcotest.int "1 ~ 2" map.(2) map.(1)
+
+let test_strong_keeps_distinct () =
+  let g = mk [ (0, "a", 1); (0, "b", 2); (1, "c", 3); (2, "d", 3) ] in
+  let q, _ = Lts.Minimize.strong g in
+  check Alcotest.int "no merge" 4 (Lts.Graph.num_states q)
+
+let test_strong_self_loop () =
+  (* An infinite 'a' chain is bisimilar to a single 'a' self-loop. *)
+  let chain =
+    Lts.Graph.make ~num_states:5 ~initial:0
+      [ (0, "a", 1); (1, "a", 2); (2, "a", 3); (3, "a", 4); (4, "a", 0) ]
+  in
+  let q, _ = Lts.Minimize.strong chain in
+  check Alcotest.int "loop collapses" 1 (Lts.Graph.num_states q)
+
+let test_determinize_hides_tau () =
+  let g =
+    Lts.Graph.make ~num_states:4 ~initial:0
+      [ (0, "tau", 1); (1, "a", 2); (0, "a", 3) ]
+  in
+  let d = Lts.Minimize.determinize ~hidden:(String.equal "tau") g in
+  check Alcotest.(list string) "only visible" [ "a" ] (Lts.Graph.labels d);
+  check Alcotest.bool "a possible" true
+    (Lts.Graph.has_trace d ~eq:String.equal [ "a" ]);
+  check Alcotest.bool "aa impossible" false
+    (Lts.Graph.has_trace d ~eq:String.equal [ "a"; "a" ])
+
+let test_weak_trace_reduction () =
+  (* tau.a + a is weak-trace equivalent to a. *)
+  let g =
+    Lts.Graph.make ~num_states:4 ~initial:0
+      [ (0, "tau", 1); (1, "a", 2); (0, "a", 3) ]
+  in
+  let w = Lts.Minimize.weak_trace ~hidden:(String.equal "tau") g in
+  check Alcotest.int "two states" 2 (Lts.Graph.num_states w);
+  check Alcotest.int "one transition" 1 (Lts.Graph.num_transitions w)
+
+let test_dot_output () =
+  let g = mk diamond in
+  let s = Lts.Dot.to_string ~pp_label:Format.pp_print_string g in
+  check Alcotest.bool "digraph" true
+    (String.length s > 0 && String.sub s 0 7 = "digraph");
+  let has sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool "initial doublecircle" true (has "doublecircle");
+  check Alcotest.bool "edge label" true (has "label=\"a\"")
+
+(* --- equivalence --- *)
+
+let test_equiv_basic () =
+  let g1 =
+    Lts.Graph.make ~num_states:2 ~initial:0 [ (0, "a", 1); (1, "a", 0) ]
+  in
+  let g2 = Lts.Graph.make ~num_states:1 ~initial:0 [ (0, "a", 0) ] in
+  check Alcotest.bool "a-loop ~ a-cycle" true (Lts.Equiv.strong_bisimilar g1 g2);
+  let g3 = Lts.Graph.make ~num_states:2 ~initial:0 [ (0, "b", 1) ] in
+  check Alcotest.bool "different labels" false
+    (Lts.Equiv.strong_bisimilar g1 g3)
+
+let test_equiv_branching () =
+  (* a.(b + c) vs a.b + a.c: trace equivalent but not bisimilar. *)
+  let branching =
+    Lts.Graph.make ~num_states:4 ~initial:0
+      [ (0, "a", 1); (1, "b", 2); (1, "c", 3) ]
+  in
+  let split =
+    Lts.Graph.make ~num_states:5 ~initial:0
+      [ (0, "a", 1); (0, "a", 2); (1, "b", 3); (2, "c", 4) ]
+  in
+  check Alcotest.bool "not bisimilar" false
+    (Lts.Equiv.strong_bisimilar branching split);
+  check Alcotest.bool "trace equivalent" true
+    (Lts.Equiv.weak_trace_equivalent ~hidden:(fun _ -> false) branching split)
+
+let test_equiv_weak () =
+  (* tau.a ~weak~ a *)
+  let with_tau =
+    Lts.Graph.make ~num_states:3 ~initial:0 [ (0, "tau", 1); (1, "a", 2) ]
+  in
+  let without = Lts.Graph.make ~num_states:2 ~initial:0 [ (0, "a", 1) ] in
+  let hidden = String.equal "tau" in
+  check Alcotest.bool "weak trace equivalent" true
+    (Lts.Equiv.weak_trace_equivalent ~hidden with_tau without);
+  check Alcotest.bool "not strongly bisimilar" false
+    (Lts.Equiv.strong_bisimilar with_tau without)
+
+(* --- property-based --- *)
+
+let random_lts =
+  QCheck.make ~print:(fun (n, edges) ->
+      Printf.sprintf "%d states, %d edges" n (List.length edges))
+    QCheck.Gen.(
+      sized (fun size ->
+          let n = max 1 (min 12 (size + 1)) in
+          let edge =
+            map3 (fun s l t -> (s, l, t)) (int_bound (n - 1))
+              (map (fun i -> String.make 1 (Char.chr (97 + i))) (int_bound 2))
+              (int_bound (n - 1))
+          in
+          map (fun es -> (n, es)) (list_size (int_bound (3 * n)) edge)))
+
+let prop_minimize_idempotent =
+  QCheck.Test.make ~name:"strong minimisation is idempotent" ~count:200
+    random_lts (fun (n, edges) ->
+      let g = Lts.Graph.make ~num_states:n ~initial:0 edges in
+      let q1, _ = Lts.Minimize.strong g in
+      let q2, _ = Lts.Minimize.strong q1 in
+      Lts.Graph.num_states q2 = Lts.Graph.num_states q1)
+
+let prop_minimize_shrinks =
+  QCheck.Test.make ~name:"quotient is no larger" ~count:200 random_lts
+    (fun (n, edges) ->
+      let g = Lts.Graph.make ~num_states:n ~initial:0 edges in
+      let q, _ = Lts.Minimize.strong g in
+      Lts.Graph.num_states q <= Lts.Graph.num_states g)
+
+let prop_trace_to_is_a_trace =
+  QCheck.Test.make ~name:"trace_to yields an actual trace" ~count:200
+    random_lts (fun (n, edges) ->
+      let g = Lts.Graph.make ~num_states:n ~initial:0 edges in
+      let goal s = s = n - 1 in
+      match Lts.Graph.trace_to g goal with
+      | None -> true
+      | Some w -> Lts.Graph.has_trace g ~eq:String.equal w)
+
+let prop_determinize_preserves_traces =
+  QCheck.Test.make ~name:"determinisation preserves visible traces"
+    ~count:100 random_lts (fun (n, edges) ->
+      let g = Lts.Graph.make ~num_states:n ~initial:0 edges in
+      let hidden = String.equal "a" in
+      let d = Lts.Minimize.determinize ~hidden g in
+      (* Any short visible word has the same status in both. *)
+      let words = [ [ "b" ]; [ "c" ]; [ "b"; "b" ]; [ "b"; "c" ]; [ "c"; "b" ] ] in
+      List.for_all
+        (fun w ->
+          (* weak trace in g: interleave arbitrary 'a's — approximate by
+             checking in the determinised LTS of g twice. *)
+          Lts.Graph.has_trace d ~eq:String.equal w
+          = Lts.Graph.has_trace
+              (Lts.Minimize.weak_trace ~hidden g)
+              ~eq:String.equal w)
+        words)
+
+let prop_quotient_bisimilar =
+  QCheck.Test.make ~name:"quotient is bisimilar to the original" ~count:150
+    random_lts (fun (n, edges) ->
+      let g = Lts.Graph.make ~num_states:n ~initial:0 edges in
+      let q, _ = Lts.Minimize.strong g in
+      Lts.Equiv.strong_bisimilar g q)
+
+let prop_weak_trace_reduction_equivalent =
+  QCheck.Test.make ~name:"weak-trace reduction preserves weak traces"
+    ~count:150 random_lts (fun (n, edges) ->
+      let g = Lts.Graph.make ~num_states:n ~initial:0 edges in
+      let hidden = String.equal "a" in
+      Lts.Equiv.weak_trace_equivalent ~hidden g
+        (Lts.Minimize.weak_trace ~hidden g))
+
+let tests =
+  ( "lts",
+    [
+      Alcotest.test_case "make valid" `Quick test_make_valid;
+      Alcotest.test_case "make rejects bad indices" `Quick test_make_out_of_range;
+      Alcotest.test_case "successors in order" `Quick test_successors_order;
+      Alcotest.test_case "labels deduplicated" `Quick test_labels_dedup;
+      Alcotest.test_case "deadlocks" `Quick test_deadlocks;
+      Alcotest.test_case "reachable" `Quick test_reachable;
+      Alcotest.test_case "restrict to reachable" `Quick test_restrict;
+      Alcotest.test_case "map labels" `Quick test_map_labels;
+      Alcotest.test_case "trace_to shortest" `Quick test_trace_to;
+      Alcotest.test_case "has_trace" `Quick test_has_trace;
+      Alcotest.test_case "fold_transitions" `Quick test_fold;
+      Alcotest.test_case "strong merges equivalent states" `Quick
+        test_strong_merges_equivalent;
+      Alcotest.test_case "strong keeps distinct states" `Quick
+        test_strong_keeps_distinct;
+      Alcotest.test_case "strong collapses a-loop" `Quick test_strong_self_loop;
+      Alcotest.test_case "determinize hides tau" `Quick test_determinize_hides_tau;
+      Alcotest.test_case "weak-trace reduction" `Quick test_weak_trace_reduction;
+      Alcotest.test_case "dot export" `Quick test_dot_output;
+      QCheck_alcotest.to_alcotest prop_minimize_idempotent;
+      QCheck_alcotest.to_alcotest prop_minimize_shrinks;
+      QCheck_alcotest.to_alcotest prop_trace_to_is_a_trace;
+      QCheck_alcotest.to_alcotest prop_determinize_preserves_traces;
+      Alcotest.test_case "equivalence basics" `Quick test_equiv_basic;
+      Alcotest.test_case "bisimulation vs traces" `Quick test_equiv_branching;
+      Alcotest.test_case "weak equivalence" `Quick test_equiv_weak;
+      QCheck_alcotest.to_alcotest prop_quotient_bisimilar;
+      QCheck_alcotest.to_alcotest prop_weak_trace_reduction_equivalent;
+    ] )

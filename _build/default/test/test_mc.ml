@@ -1,0 +1,364 @@
+(* Tests for the explicit-state checker: exploration, monitors, regular
+   expressions and safety verdicts. *)
+
+let check = Alcotest.check
+
+(* A tiny reference system: a counter modulo [n] with an increment label,
+   plus an optional "down" transition from the top. *)
+let counter n : (int, string) Mc.System.t =
+  (module struct
+    type state = int
+    type label = string
+
+    let initial = 0
+
+    let successors s =
+      if s = n - 1 then [ ("reset", 0) ] else [ ("inc", s + 1) ]
+
+    let equal_state = Int.equal
+    let hash_state = Hashtbl.hash
+    let pp_state = Format.pp_print_int
+    let pp_label = Format.pp_print_string
+  end)
+
+(* A binary tree of choices of depth [d]: 2^d leaves, useful for bound
+   tests. *)
+let tree d : (int list, string) Mc.System.t =
+  (module struct
+    type state = int list
+    type label = string
+
+    let initial = []
+
+    let successors s =
+      if List.length s >= d then []
+      else [ ("l", 0 :: s); ("r", 1 :: s) ]
+
+    let equal_state = ( = )
+    let hash_state = Hashtbl.hash
+    let pp_state ppf s = Format.fprintf ppf "%d" (List.length s)
+    let pp_label = Format.pp_print_string
+  end)
+
+let test_space_counter () =
+  let space = Mc.Explore.space (counter 10) in
+  check Alcotest.bool "complete" true space.Mc.Explore.complete;
+  check Alcotest.int "states" 10 (Lts.Graph.num_states space.Mc.Explore.lts);
+  check Alcotest.int "transitions" 10
+    (Lts.Graph.num_transitions space.Mc.Explore.lts);
+  check Alcotest.int "state array" 10 (Array.length space.Mc.Explore.states)
+
+let test_space_bound () =
+  let space = Mc.Explore.space ~max_states:5 (counter 10) in
+  check Alcotest.bool "truncated" false space.Mc.Explore.complete;
+  check Alcotest.int "bounded" 5 (Lts.Graph.num_states space.Mc.Explore.lts)
+
+let test_count () =
+  check Alcotest.(pair int bool) "count" (10, true) (Mc.Explore.count (counter 10));
+  check Alcotest.(pair int bool) "tree" (15, true) (Mc.Explore.count (tree 3))
+
+let test_find_shortest () =
+  match Mc.Explore.find ~goal:(fun s -> s = 7) (counter 10) with
+  | Mc.Explore.Reached w ->
+      check Alcotest.int "length" 7 (List.length w.Mc.Explore.trace);
+      check Alcotest.int "state" 7 w.Mc.Explore.state
+  | _ -> Alcotest.fail "expected Reached"
+
+let test_find_unreachable () =
+  match Mc.Explore.find ~goal:(fun s -> s = 42) (counter 10) with
+  | Mc.Explore.Unreachable -> ()
+  | _ -> Alcotest.fail "expected Unreachable"
+
+let test_find_initial () =
+  match Mc.Explore.find ~goal:(fun s -> s = 0) (counter 10) with
+  | Mc.Explore.Reached w -> check Alcotest.int "empty trace" 0 (List.length w.Mc.Explore.trace)
+  | _ -> Alcotest.fail "expected Reached"
+
+let test_find_bound () =
+  match Mc.Explore.find ~max_states:4 ~goal:(fun s -> s = 9) (counter 10) with
+  | Mc.Explore.Bound_hit n -> check Alcotest.int "bound" 4 n
+  | _ -> Alcotest.fail "expected Bound_hit"
+
+(* --- monitors --- *)
+
+let run_monitor (m : string Mc.Monitor.t) word =
+  let q = List.fold_left m.Mc.Monitor.step m.Mc.Monitor.start word in
+  m.Mc.Monitor.accepting q
+
+let test_monitor_never () =
+  let m = Mc.Monitor.never (String.equal "bad") in
+  check Alcotest.bool "clean" false (run_monitor m [ "a"; "b" ]);
+  check Alcotest.bool "hit" true (run_monitor m [ "a"; "bad" ]);
+  check Alcotest.bool "latches" true (run_monitor m [ "bad"; "a" ])
+
+let test_monitor_always () =
+  let m = Mc.Monitor.always (String.equal "ok") in
+  check Alcotest.bool "all ok" false (run_monitor m [ "ok"; "ok" ]);
+  check Alcotest.bool "one off" true (run_monitor m [ "ok"; "nope" ])
+
+let test_monitor_precedence () =
+  let m =
+    Mc.Monitor.precedence ~fault:(String.equal "fault") ~bad:(String.equal "bad")
+  in
+  check Alcotest.bool "bad before fault" true (run_monitor m [ "x"; "bad" ]);
+  check Alcotest.bool "fault discharges" false
+    (run_monitor m [ "fault"; "bad" ]);
+  check Alcotest.bool "no bad" false (run_monitor m [ "x"; "fault" ])
+
+let test_monitor_deadline () =
+  let tick = String.equal "t" in
+  let reset = String.equal "r" in
+  let ok = String.equal "done" in
+  let m = Mc.Monitor.deadline ~tick ~reset ~ok 3 in
+  check Alcotest.bool "within deadline" false (run_monitor m [ "t"; "t"; "t" ]);
+  check Alcotest.bool "past deadline" true
+    (run_monitor m [ "t"; "t"; "t"; "t" ]);
+  check Alcotest.bool "reset restarts" false
+    (run_monitor m [ "t"; "t"; "r"; "t"; "t"; "t" ]);
+  check Alcotest.bool "ok discharges" false
+    (run_monitor m [ "t"; "t"; "t"; "done"; "t"; "t" ])
+
+(* --- regular expressions --- *)
+
+let sym c = Mc.Regex.atom (String.make 1 c) (fun l -> l = String.make 1 c)
+
+let test_regex_matches () =
+  let r = Mc.Regex.(seq (sym 'a') (star (sym 'b'))) in
+  check Alcotest.bool "a" true (Mc.Regex.matches r [ "a" ]);
+  check Alcotest.bool "abb" true (Mc.Regex.matches r [ "a"; "b"; "b" ]);
+  check Alcotest.bool "b" false (Mc.Regex.matches r [ "b" ]);
+  check Alcotest.bool "empty" false (Mc.Regex.matches r [])
+
+let test_regex_alt_opt_plus () =
+  let r = Mc.Regex.(alt (plus (sym 'a')) (opt (sym 'b'))) in
+  check Alcotest.bool "eps (via opt)" true (Mc.Regex.matches r []);
+  check Alcotest.bool "aa" true (Mc.Regex.matches r [ "a"; "a" ]);
+  check Alcotest.bool "b" true (Mc.Regex.matches r [ "b" ]);
+  check Alcotest.bool "ba" false (Mc.Regex.matches r [ "b"; "a" ])
+
+let test_regex_repeat () =
+  let r = Mc.Regex.repeat (sym 'a') 3 in
+  check Alcotest.bool "aaa" true (Mc.Regex.matches r [ "a"; "a"; "a" ]);
+  check Alcotest.bool "aa" false (Mc.Regex.matches r [ "a"; "a" ]);
+  check Alcotest.bool "aaaa" false (Mc.Regex.matches r [ "a"; "a"; "a"; "a" ]);
+  Alcotest.check_raises "negative" (Invalid_argument "Mc.Regex.repeat: negative count")
+    (fun () -> ignore (Mc.Regex.repeat (sym 'a') (-1)))
+
+let test_regex_empty_eps () =
+  check Alcotest.bool "empty matches nothing" false
+    (Mc.Regex.matches Mc.Regex.empty []);
+  check Alcotest.bool "eps matches empty" true (Mc.Regex.matches Mc.Regex.eps []);
+  check Alcotest.bool "eps only empty" false
+    (Mc.Regex.matches Mc.Regex.eps [ "a" ])
+
+let test_regex_compile_agrees () =
+  let r =
+    Mc.Regex.(
+      seq (star (alt (sym 'a') (sym 'b'))) (seq (sym 'a') (sym 'b')))
+  in
+  let m = Mc.Regex.compile r in
+  let words =
+    [
+      []; [ "a" ]; [ "a"; "b" ]; [ "b"; "a"; "b" ]; [ "a"; "a"; "a" ];
+      [ "b"; "b"; "a"; "b" ];
+    ]
+  in
+  List.iter
+    (fun w ->
+      let direct = Mc.Regex.matches r w in
+      let via_monitor =
+        let q = List.fold_left m.Mc.Monitor.step m.Mc.Monitor.start w in
+        m.Mc.Monitor.accepting q
+      in
+      check Alcotest.bool
+        (Printf.sprintf "agree on %s" (String.concat "" w))
+        direct via_monitor)
+    words
+
+(* Random regex/word agreement between [matches] and [compile]. *)
+let regex_gen : string Mc.Regex.t QCheck.arbitrary =
+  let open QCheck.Gen in
+  let letter = map (fun i -> Char.chr (97 + i)) (int_bound 2) in
+  let rec gen depth =
+    if depth = 0 then map sym letter
+    else
+      frequency
+        [
+          (2, map sym letter);
+          (1, return Mc.Regex.eps);
+          (2, map2 Mc.Regex.seq (gen (depth - 1)) (gen (depth - 1)));
+          (2, map2 Mc.Regex.alt (gen (depth - 1)) (gen (depth - 1)));
+          (1, map Mc.Regex.star (gen (depth - 1)));
+        ]
+  in
+  QCheck.make
+    ~print:(fun r -> Format.asprintf "%a" Mc.Regex.pp r)
+    (gen 4)
+
+let word_gen =
+  QCheck.make
+    ~print:(String.concat "")
+    QCheck.Gen.(
+      list_size (int_bound 6)
+        (map (fun i -> String.make 1 (Char.chr (97 + i))) (int_bound 2)))
+
+let prop_compile_agrees_matches =
+  QCheck.Test.make ~name:"compiled monitor agrees with matches" ~count:300
+    (QCheck.pair regex_gen word_gen) (fun (r, w) ->
+      let m = Mc.Regex.compile r in
+      let q = List.fold_left m.Mc.Monitor.step m.Mc.Monitor.start w in
+      m.Mc.Monitor.accepting q = Mc.Regex.matches r w)
+
+(* --- safety --- *)
+
+let test_check_monitor () =
+  let m = Mc.Monitor.never (String.equal "reset") in
+  (match Mc.Safety.check_monitor (counter 3) m with
+  | Mc.Safety.Violated trace ->
+      check Alcotest.int "shortest violation" 3 (List.length trace)
+  | _ -> Alcotest.fail "expected violation");
+  match Mc.Safety.check_monitor (counter 3) (Mc.Monitor.never (String.equal "boom")) with
+  | Mc.Safety.Holds -> ()
+  | _ -> Alcotest.fail "expected holds"
+
+let test_check_forbidden () =
+  (* "two incs then a reset" is impossible on a 2-counter. *)
+  let r =
+    Mc.Regex.(
+      seq (star any)
+        (seq_list
+           [
+             atom "inc" (String.equal "inc");
+             atom "inc" (String.equal "inc");
+             atom "reset" (String.equal "reset");
+           ]))
+  in
+  (match Mc.Safety.check_forbidden (counter 3) r with
+  | Mc.Safety.Violated trace -> check Alcotest.int "len" 3 (List.length trace)
+  | _ -> Alcotest.fail "expected violation");
+  match Mc.Safety.check_forbidden (counter 2) r with
+  | Mc.Safety.Holds -> ()
+  | _ -> Alcotest.fail "expected holds"
+
+let test_check_state () =
+  (match Mc.Safety.check_state (counter 5) (fun s -> s = 4) with
+  | Mc.Safety.Violated trace -> check Alcotest.int "len" 4 (List.length trace)
+  | _ -> Alcotest.fail "expected violation");
+  match Mc.Safety.check_state (counter 5) (fun s -> s > 5) with
+  | Mc.Safety.Holds -> ()
+  | _ -> Alcotest.fail "expected holds"
+
+let test_check_unknown () =
+  match Mc.Safety.check_state ~max_states:3 (counter 10) (fun s -> s = 9) with
+  | Mc.Safety.Unknown 3 -> ()
+  | _ -> Alcotest.fail "expected Unknown 3"
+
+let test_holds_helper () =
+  check Alcotest.bool "holds" true (Mc.Safety.holds Mc.Safety.Holds);
+  check Alcotest.bool "violated" false (Mc.Safety.holds (Mc.Safety.Violated []));
+  check Alcotest.bool "unknown" false (Mc.Safety.holds (Mc.Safety.Unknown 1))
+
+let tests =
+  ( "mc",
+    [
+      Alcotest.test_case "space of a counter" `Quick test_space_counter;
+      Alcotest.test_case "space respects bound" `Quick test_space_bound;
+      Alcotest.test_case "count" `Quick test_count;
+      Alcotest.test_case "find shortest witness" `Quick test_find_shortest;
+      Alcotest.test_case "find unreachable" `Quick test_find_unreachable;
+      Alcotest.test_case "find initial state" `Quick test_find_initial;
+      Alcotest.test_case "find bound hit" `Quick test_find_bound;
+      Alcotest.test_case "monitor never" `Quick test_monitor_never;
+      Alcotest.test_case "monitor always" `Quick test_monitor_always;
+      Alcotest.test_case "monitor precedence" `Quick test_monitor_precedence;
+      Alcotest.test_case "monitor deadline" `Quick test_monitor_deadline;
+      Alcotest.test_case "regex matches" `Quick test_regex_matches;
+      Alcotest.test_case "regex alt/opt/plus" `Quick test_regex_alt_opt_plus;
+      Alcotest.test_case "regex repeat" `Quick test_regex_repeat;
+      Alcotest.test_case "regex empty/eps" `Quick test_regex_empty_eps;
+      Alcotest.test_case "compile agrees with matches" `Quick
+        test_regex_compile_agrees;
+      QCheck_alcotest.to_alcotest prop_compile_agrees_matches;
+      Alcotest.test_case "check_monitor" `Quick test_check_monitor;
+      Alcotest.test_case "check_forbidden" `Quick test_check_forbidden;
+      Alcotest.test_case "check_state" `Quick test_check_state;
+      Alcotest.test_case "check unknown on bound" `Quick test_check_unknown;
+      Alcotest.test_case "holds helper" `Quick test_holds_helper;
+    ] )
+
+(* --- CTL --- *)
+
+(* A small graph with a trap: 0 -a-> 1 -b-> 2 (deadlock), 0 -c-> 0. *)
+let ctl_graph =
+  Lts.Graph.make ~num_states:3 ~initial:0
+    [ (0, "a", 1); (1, "b", 2); (0, "c", 0) ]
+
+let bset = Alcotest.(list bool)
+
+let test_ctl_atoms_and_can () =
+  let is s = Mc.Ctl.atom "is" (fun x -> x = s) in
+  check bset "atom" [ false; true; false ]
+    (Array.to_list (Mc.Ctl.eval ctl_graph (is 1)));
+  check bset "can b" [ false; true; false ]
+    (Array.to_list (Mc.Ctl.eval ctl_graph (Mc.Ctl.can "b" (String.equal "b"))))
+
+let test_ctl_ef_ag () =
+  let at2 = Mc.Ctl.atom "at2" (fun s -> s = 2) in
+  check bset "EF at2" [ true; true; true ]
+    (Array.to_list (Mc.Ctl.eval ctl_graph (Mc.Ctl.EF at2)));
+  (* AG (EF at2): state 2 is a deadlock satisfying at2, all can reach it *)
+  check Alcotest.bool "AG EF holds" true
+    (Mc.Ctl.holds ctl_graph (Mc.Ctl.AG (Mc.Ctl.EF at2)));
+  (* AG at0 fails immediately *)
+  check Alcotest.bool "AG at0 fails" false
+    (Mc.Ctl.holds ctl_graph (Mc.Ctl.AG (Mc.Ctl.atom "at0" (fun s -> s = 0))))
+
+let test_ctl_eg_af () =
+  let at0 = Mc.Ctl.atom "at0" (fun s -> s = 0) in
+  (* The c-self-loop keeps an infinite run inside {0}. *)
+  check Alcotest.bool "EG at0" true (Mc.Ctl.holds ctl_graph (Mc.Ctl.EG at0));
+  (* AF at2 is false at 0 because of the same loop. *)
+  let at2 = Mc.Ctl.atom "at2" (fun s -> s = 2) in
+  check Alcotest.bool "AF at2 false" false
+    (Mc.Ctl.holds ctl_graph (Mc.Ctl.AF at2));
+  (* Without the loop AF holds. *)
+  let chain =
+    Lts.Graph.make ~num_states:3 ~initial:0 [ (0, "a", 1); (1, "b", 2) ]
+  in
+  check Alcotest.bool "AF on a chain" true (Mc.Ctl.holds chain (Mc.Ctl.AF at2))
+
+let test_ctl_eu_au () =
+  let at0 = Mc.Ctl.atom "at0" (fun s -> s = 0) in
+  let at1 = Mc.Ctl.atom "at1" (fun s -> s = 1) in
+  check Alcotest.bool "E[at0 U at1]" true
+    (Mc.Ctl.holds ctl_graph (Mc.Ctl.EU (at0, at1)));
+  (* A[at0 U at1] fails: the c-loop can avoid state 1 forever. *)
+  check Alcotest.bool "A[at0 U at1] fails" false
+    (Mc.Ctl.holds ctl_graph (Mc.Ctl.AU (at0, at1)))
+
+let test_ctl_deadlock_semantics () =
+  let dead = Mc.Ctl.atom "at2" (fun s -> s = 2) in
+  (* In the deadlock state: EX anything is false, AX anything true. *)
+  let ex = Mc.Ctl.eval ctl_graph (Mc.Ctl.EX Mc.Ctl.True) in
+  check Alcotest.bool "EX true at deadlock" false ex.(2);
+  let ax = Mc.Ctl.eval ctl_graph (Mc.Ctl.AX Mc.Ctl.False) in
+  check Alcotest.bool "AX false at deadlock" true ax.(2);
+  ignore dead
+
+let test_ctl_witness () =
+  let at2 = Mc.Ctl.atom "at2" (fun s -> s = 2) in
+  match Mc.Ctl.witness_ef ctl_graph at2 with
+  | Some w -> check Alcotest.(list string) "path" [ "a"; "b" ] w
+  | None -> Alcotest.fail "expected a witness"
+
+let ctl_tests =
+  [
+    Alcotest.test_case "ctl atoms and can" `Quick test_ctl_atoms_and_can;
+    Alcotest.test_case "ctl EF/AG" `Quick test_ctl_ef_ag;
+    Alcotest.test_case "ctl EG/AF" `Quick test_ctl_eg_af;
+    Alcotest.test_case "ctl EU/AU" `Quick test_ctl_eu_au;
+    Alcotest.test_case "ctl deadlock semantics" `Quick test_ctl_deadlock_semantics;
+    Alcotest.test_case "ctl EF witness" `Quick test_ctl_witness;
+  ]
+
+let tests = (fst tests, snd tests @ ctl_tests)

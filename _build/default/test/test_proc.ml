@@ -1,0 +1,344 @@
+(* Tests for the process-algebra substrate: values, expressions, terms,
+   specification validation and the operational semantics. *)
+
+let check = Alcotest.check
+module V = Proc.Value
+module P = Proc.Pexpr
+module T = Proc.Term
+
+(* --- values --- *)
+
+let test_value_accessors () =
+  check Alcotest.bool "bool" true (V.to_bool (V.bool true));
+  check Alcotest.int "int" 7 (V.to_int (V.int 7));
+  check Alcotest.int "list" 2 (List.length (V.to_list (V.list [ V.int 1; V.int 2 ])));
+  Alcotest.check_raises "wrong type" (Invalid_argument "Proc.Value.to_int: got a bool")
+    (fun () -> ignore (V.to_int (V.bool true)))
+
+let test_value_pp () =
+  check Alcotest.string "pp list" "[1; true]"
+    (V.to_string (V.list [ V.int 1; V.bool true ]))
+
+(* --- expressions --- *)
+
+let ev e = P.eval [] e
+let evi e = V.to_int (ev e)
+let evb e = V.to_bool (ev e)
+
+let test_pexpr_arith () =
+  check Alcotest.int "add" 5 (evi (P.Add (P.int 2, P.int 3)));
+  check Alcotest.int "sub" (-1) (evi (P.Sub (P.int 2, P.int 3)));
+  check Alcotest.int "mul" 6 (evi (P.Mul (P.int 2, P.int 3)));
+  check Alcotest.int "div" 3 (evi (P.Div (P.int 7, P.int 2)))
+
+let test_pexpr_bool () =
+  check Alcotest.bool "lt" true (evb (P.Lt (P.int 1, P.int 2)));
+  check Alcotest.bool "le" true (evb (P.Le (P.int 2, P.int 2)));
+  check Alcotest.bool "eq values" true (evb (P.Eq (P.tt, P.tt)));
+  check Alcotest.bool "and" false (evb (P.And (P.tt, P.ff)));
+  check Alcotest.bool "or" true (evb (P.Or (P.ff, P.tt)));
+  check Alcotest.bool "not" true (evb (P.Not P.ff))
+
+let test_pexpr_if_env () =
+  let env = [ ("x", V.int 10); ("b", V.bool false) ] in
+  check Alcotest.int "if false" 0
+    (V.to_int (P.eval env (P.If (P.Var "b", P.Var "x", P.int 0))));
+  Alcotest.check_raises "unbound"
+    (Invalid_argument "Proc.Pexpr.eval: unbound variable y") (fun () ->
+      ignore (P.eval env (P.Var "y")))
+
+let test_pexpr_lists () =
+  let l = P.Const (V.list [ V.int 4; V.int 5; V.int 6 ]) in
+  check Alcotest.int "nth" 5 (evi (P.Nth (l, P.int 1)));
+  check Alcotest.int "set_nth" 9
+    (evi (P.Nth (P.Set_nth (l, P.int 2, P.int 9), P.int 2)));
+  check Alcotest.int "min" 4 (evi (P.Min_list l));
+  check Alcotest.int "len" 3 (evi (P.Len l));
+  check Alcotest.int "repl len" 4 (evi (P.Len (P.Repl (P.int 4, P.tt))));
+  Alcotest.check_raises "nth out of bounds"
+    (Invalid_argument "Proc.Pexpr.eval: list index out of bounds") (fun () ->
+      ignore (ev (P.Nth (l, P.int 3))))
+
+(* --- specification validation --- *)
+
+let tiny_def = T.def "X" [] (T.Prefix (T.act "a" [], T.call "X" []))
+
+let test_validate_ok () =
+  Proc.Spec.validate
+    {
+      Proc.Spec.defs = [ tiny_def ];
+      init = [ ("X", []) ];
+      comms = [];
+      allow = [ "a" ];
+      hide = [];
+    }
+
+let test_validate_unknown_def () =
+  Alcotest.check_raises "unknown"
+    (Invalid_argument "Proc.Spec: unknown definition Y (initial component)")
+    (fun () ->
+      Proc.Spec.validate
+        {
+          Proc.Spec.defs = [ tiny_def ];
+          init = [ ("Y", []) ];
+          comms = [];
+          allow = [];
+          hide = [];
+        })
+
+let test_validate_arity () =
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Proc.Spec: X expects 0 arguments, got 1 (initial component)")
+    (fun () ->
+      Proc.Spec.validate
+        {
+          Proc.Spec.defs = [ tiny_def ];
+          init = [ ("X", [ V.int 1 ]) ];
+          comms = [];
+          allow = [];
+          hide = [];
+        })
+
+let test_validate_tick_hidden () =
+  Alcotest.check_raises "tick hidden"
+    (Invalid_argument "Proc.Spec: tick cannot be hidden") (fun () ->
+      Proc.Spec.validate
+        {
+          Proc.Spec.defs = [ tiny_def ];
+          init = [ ("X", []) ];
+          comms = [];
+          allow = [];
+          hide = [ "tick" ];
+        })
+
+(* --- semantics --- *)
+
+let lts_of spec = Proc.Semantics.lts spec
+
+let spec_of ?(comms = []) ?(allow = []) ?(hide = []) defs init =
+  { Proc.Spec.defs; init; comms; allow; hide }
+
+let label = Alcotest.testable Proc.Semantics.pp_label ( = )
+
+let test_prefix_choice () =
+  (* a.X + b.X over a one-state recursion: two self-loop labels. *)
+  let d =
+    T.def "X" []
+      (T.choice
+         [ T.Prefix (T.act "a" [], T.call "X" []); T.Prefix (T.act "b" [], T.call "X" []) ])
+  in
+  let g = lts_of (spec_of [ d ] [ ("X", []) ] ~allow:[ "a"; "b" ]) in
+  check Alcotest.int "one state" 1 (Lts.Graph.num_states g);
+  check Alcotest.int "two loops" 2 (Lts.Graph.num_transitions g)
+
+let test_data_in_actions () =
+  (* emit the values of a sum domain *)
+  let d =
+    T.def "X" [] (T.Sum ("v", 1, 3, T.Prefix (T.act "out" [ P.Var "v" ], T.Nil)))
+  in
+  let g = lts_of (spec_of [ d ] [ ("X", []) ] ~allow:[ "out" ]) in
+  check Alcotest.int "three transitions" 3 (Lts.Graph.num_transitions g);
+  let labels = Lts.Graph.labels g in
+  check Alcotest.bool "out(2) present" true
+    (List.mem (Proc.Semantics.Act ("out", [ V.Int 2 ])) labels)
+
+let test_cond () =
+  let d =
+    T.def "X" [ "n" ]
+      (T.cond
+         (P.Lt (P.Var "n", P.int 2))
+         (T.Prefix (T.act "low" [], T.Nil))
+         (T.Prefix (T.act "high" [], T.Nil)))
+  in
+  let g = lts_of (spec_of [ d ] [ ("X", [ V.int 5 ]) ] ~allow:[ "low"; "high" ]) in
+  check (Alcotest.list label) "high branch"
+    [ Proc.Semantics.Act ("high", []) ]
+    (Lts.Graph.labels g)
+
+let test_communication () =
+  (* sender s(1).Nil, receiver sum x. r(x).Nil; allow only the result. *)
+  let s = T.def "S" [] (T.Prefix (T.act "snd" [ P.int 1 ], T.Nil)) in
+  let r =
+    T.def "R" [] (T.Sum ("x", 0, 2, T.Prefix (T.act "rcv" [ P.Var "x" ], T.Nil)))
+  in
+  let g =
+    lts_of
+      (spec_of [ s; r ]
+         [ ("S", []); ("R", []) ]
+         ~comms:[ ("snd", "rcv", "comm") ]
+         ~allow:[ "comm" ])
+  in
+  (* Only the matching data value synchronises; unmatched halves block. *)
+  check Alcotest.int "one transition" 1 (Lts.Graph.num_transitions g);
+  check (Alcotest.list label) "comm(1)"
+    [ Proc.Semantics.Act ("comm", [ V.Int 1 ]) ]
+    (Lts.Graph.labels g)
+
+let test_hide () =
+  let s = T.def "S" [] (T.Prefix (T.act "snd" [], T.Nil)) in
+  let r = T.def "R" [] (T.Prefix (T.act "rcv" [], T.Nil)) in
+  let g =
+    lts_of
+      (spec_of [ s; r ]
+         [ ("S", []); ("R", []) ]
+         ~comms:[ ("snd", "rcv", "comm") ]
+         ~hide:[ "comm" ])
+  in
+  check (Alcotest.list label) "tau" [ Proc.Semantics.tau ] (Lts.Graph.labels g)
+
+let test_tick_requires_all () =
+  (* One component ticks, the other only after an action: no global tick
+     until the action fires. *)
+  let a = T.def "A" [] (T.Prefix (T.act "tick" [], T.call "A" [])) in
+  let b =
+    T.def "B" []
+      (T.Prefix (T.act "go" [], T.call "B2" []))
+  in
+  let b2 = T.def "B2" [] (T.Prefix (T.act "tick" [], T.call "B2" [])) in
+  let g =
+    lts_of (spec_of [ a; b; b2 ] [ ("A", []); ("B", []) ] ~allow:[ "go" ])
+  in
+  (* initial state: only "go"; afterwards only tick self-loop *)
+  check Alcotest.int "two states" 2 (Lts.Graph.num_states g);
+  check (Alcotest.list label) "go first"
+    [ Proc.Semantics.Act ("go", []) ]
+    (List.map fst (Lts.Graph.successors g (Lts.Graph.initial g)))
+
+let test_blocked_unmatched_half () =
+  (* A send with no matching receiver and not in the allow set is
+     blocked. *)
+  let s = T.def "S" [] (T.Prefix (T.act "snd" [], T.Nil)) in
+  let g =
+    lts_of
+      (spec_of [ s ] [ ("S", []) ] ~comms:[ ("snd", "rcv", "comm") ] ~allow:[ "comm" ])
+  in
+  check Alcotest.int "deadlocked" 0 (Lts.Graph.num_transitions g)
+
+let test_unguarded_recursion () =
+  let d = T.def "X" [] (T.call "X" []) in
+  let sys = Proc.Semantics.system (spec_of [ d ] [ ("X", []) ]) in
+  let module S = (val sys : Mc.System.S
+                    with type state = Proc.Semantics.state
+                     and type label = Proc.Semantics.label)
+  in
+  Alcotest.check_raises "unguarded"
+    (Proc.Semantics.Unguarded_recursion "definition unfolding limit")
+    (fun () -> ignore (S.successors S.initial))
+
+let test_sum_binding_shadows () =
+  (* The sum variable shadows an outer parameter of the same name. *)
+  let d =
+    T.def "X" [ "v" ]
+      (T.Sum ("v", 7, 7, T.Prefix (T.act "out" [ P.Var "v" ], T.Nil)))
+  in
+  let g = lts_of (spec_of [ d ] [ ("X", [ V.int 1 ]) ] ~allow:[ "out" ]) in
+  check (Alcotest.list label) "inner binding"
+    [ Proc.Semantics.Act ("out", [ V.Int 7 ]) ]
+    (Lts.Graph.labels g)
+
+let test_label_name () =
+  check Alcotest.string "tick" "tick" (Proc.Semantics.label_name Proc.Semantics.Tick);
+  check Alcotest.string "act" "a"
+    (Proc.Semantics.label_name (Proc.Semantics.Act ("a", [])))
+
+let tests =
+  ( "proc",
+    [
+      Alcotest.test_case "value accessors" `Quick test_value_accessors;
+      Alcotest.test_case "value printing" `Quick test_value_pp;
+      Alcotest.test_case "expr arithmetic" `Quick test_pexpr_arith;
+      Alcotest.test_case "expr booleans" `Quick test_pexpr_bool;
+      Alcotest.test_case "expr if/env" `Quick test_pexpr_if_env;
+      Alcotest.test_case "expr lists" `Quick test_pexpr_lists;
+      Alcotest.test_case "validate ok" `Quick test_validate_ok;
+      Alcotest.test_case "validate unknown def" `Quick test_validate_unknown_def;
+      Alcotest.test_case "validate arity" `Quick test_validate_arity;
+      Alcotest.test_case "validate tick not hidden" `Quick test_validate_tick_hidden;
+      Alcotest.test_case "prefix and choice" `Quick test_prefix_choice;
+      Alcotest.test_case "data in actions" `Quick test_data_in_actions;
+      Alcotest.test_case "condition" `Quick test_cond;
+      Alcotest.test_case "communication with data match" `Quick test_communication;
+      Alcotest.test_case "hiding to tau" `Quick test_hide;
+      Alcotest.test_case "tick is a global sync" `Quick test_tick_requires_all;
+      Alcotest.test_case "unmatched half blocks" `Quick test_blocked_unmatched_half;
+      Alcotest.test_case "unguarded recursion detected" `Quick
+        test_unguarded_recursion;
+      Alcotest.test_case "sum shadows parameter" `Quick test_sum_binding_shadows;
+      Alcotest.test_case "label names" `Quick test_label_name;
+    ] )
+
+(* --- property-based: random guarded specifications --- *)
+
+let random_spec : Proc.Spec.t QCheck.arbitrary =
+  let open QCheck.Gen in
+  (* Each component is a guarded loop over a random subset of actions
+     drawn from {tick, a, b, snd, rcv}; snd/rcv communicate into c. *)
+  let summand_gen self =
+    oneofl [ "tick"; "a"; "b"; "snd"; "rcv" ] >>= fun act ->
+    return (T.Prefix (T.act act [], T.call self []))
+  in
+  let component_gen name =
+    list_size (int_range 1 4) (summand_gen name) >>= fun summands ->
+    return (T.def name [] (T.choice summands))
+  in
+  let spec_gen =
+    component_gen "X" >>= fun x ->
+    component_gen "Y" >>= fun y ->
+    return
+      {
+        Proc.Spec.defs = [ x; y ];
+        init = [ ("X", []); ("Y", []) ];
+        comms = [ ("snd", "rcv", "c") ];
+        allow = [ "a"; "b"; "c" ];
+        hide = [];
+      }
+  in
+  QCheck.make
+    ~print:(fun spec ->
+      String.concat " | "
+        (List.map
+           (fun (d : T.def) -> Format.asprintf "%a" Proc.Term.pp d.T.body)
+           spec.Proc.Spec.defs))
+    spec_gen
+
+let prop_spec_exploration_terminates =
+  QCheck.Test.make ~name:"random spec exploration terminates" ~count:200
+    random_spec (fun spec ->
+      let count, complete =
+        Mc.Explore.count ~max_states:10_000 (Proc.Semantics.system spec)
+      in
+      complete && count >= 1 && count <= 16)
+
+let prop_spec_labels_allowed =
+  QCheck.Test.make ~name:"every emitted label is allowed" ~count:200
+    random_spec (fun spec ->
+      let space =
+        Mc.Explore.space ~max_states:10_000 (Proc.Semantics.system spec)
+      in
+      List.for_all
+        (fun (l : Proc.Semantics.label) ->
+          match l with
+          | Proc.Semantics.Tick -> true
+          | Proc.Semantics.Act (name, _) ->
+              List.mem name spec.Proc.Spec.allow)
+        (Lts.Graph.labels space.Mc.Explore.lts))
+
+let prop_spec_successors_pure =
+  QCheck.Test.make ~name:"spec successors deterministic" ~count:100
+    random_spec (fun spec ->
+      let sys = Proc.Semantics.system spec in
+      let module S =
+        (val sys : Mc.System.S
+               with type state = Proc.Semantics.state
+                and type label = Proc.Semantics.label)
+      in
+      S.successors S.initial = S.successors S.initial)
+
+let prop_tests =
+  [
+    QCheck_alcotest.to_alcotest prop_spec_exploration_terminates;
+    QCheck_alcotest.to_alcotest prop_spec_labels_allowed;
+    QCheck_alcotest.to_alcotest prop_spec_successors_pure;
+  ]
+
+let tests = (fst tests, snd tests @ prop_tests)

@@ -1,0 +1,323 @@
+(* Tests for the simulation substrate: heap, RNG, statistics, engine and
+   lossy links. *)
+
+let check = Alcotest.check
+
+(* --- pairing heap --- *)
+
+let test_heap_basic () =
+  let h = Sim.Heap.of_list [ (3.0, "c"); (1.0, "a"); (2.0, "b") ] in
+  check Alcotest.int "size" 3 (Sim.Heap.size h);
+  check
+    Alcotest.(option (pair (float 0.0) string))
+    "min" (Some (1.0, "a")) (Sim.Heap.find_min h);
+  check
+    Alcotest.(list (pair (float 0.0) string))
+    "sorted"
+    [ (1.0, "a"); (2.0, "b"); (3.0, "c") ]
+    (Sim.Heap.to_sorted_list h)
+
+let test_heap_empty () =
+  check Alcotest.bool "empty" true (Sim.Heap.is_empty Sim.Heap.empty);
+  check Alcotest.bool "pop none" true (Sim.Heap.pop Sim.Heap.empty = None);
+  Alcotest.check_raises "delete_min"
+    (Invalid_argument "Sim.Heap.delete_min: empty heap") (fun () ->
+      ignore (Sim.Heap.delete_min Sim.Heap.empty))
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap drains in priority order" ~count:300
+    QCheck.(list (pair (float_bound_exclusive 1000.0) small_int))
+    (fun items ->
+      let h = Sim.Heap.of_list items in
+      let drained = List.map fst (Sim.Heap.to_sorted_list h) in
+      drained = List.sort compare (List.map fst items))
+
+let prop_heap_size =
+  QCheck.Test.make ~name:"heap size equals inserts" ~count:200
+    QCheck.(list (float_bound_exclusive 10.0))
+    (fun keys ->
+      let h = Sim.Heap.of_list (List.map (fun k -> (k, ())) keys) in
+      Sim.Heap.size h = List.length keys)
+
+(* --- RNG --- *)
+
+let test_rng_deterministic () =
+  let a = Sim.Rng.create 99L and b = Sim.Rng.create 99L in
+  for _ = 1 to 50 do
+    check Alcotest.int64 "same stream" (Sim.Rng.int64 a) (Sim.Rng.int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Sim.Rng.create 1L and b = Sim.Rng.create 2L in
+  check Alcotest.bool "different streams" true
+    (Sim.Rng.int64 a <> Sim.Rng.int64 b)
+
+let test_rng_ranges () =
+  let r = Sim.Rng.create 5L in
+  for _ = 1 to 1000 do
+    let f = Sim.Rng.float r in
+    if f < 0.0 || f >= 1.0 then Alcotest.failf "float out of range: %f" f;
+    let k = Sim.Rng.int r 7 in
+    if k < 0 || k >= 7 then Alcotest.failf "int out of range: %d" k;
+    let u = Sim.Rng.uniform r 2.0 5.0 in
+    if u < 2.0 || u >= 5.0 then Alcotest.failf "uniform out of range: %f" u
+  done;
+  Alcotest.check_raises "bad bound"
+    (Invalid_argument "Sim.Rng.int: bound must be positive") (fun () ->
+      ignore (Sim.Rng.int r 0))
+
+let test_rng_bool_bias () =
+  let r = Sim.Rng.create 11L in
+  let hits = ref 0 in
+  let n = 10_000 in
+  for _ = 1 to n do
+    if Sim.Rng.bool r 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  check Alcotest.bool "bias near 0.3" true (rate > 0.27 && rate < 0.33)
+
+(* --- statistics --- *)
+
+let test_stats_moments () =
+  let s = Sim.Stats.create () in
+  List.iter (Sim.Stats.add s) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  check Alcotest.int "count" 8 (Sim.Stats.count s);
+  check (Alcotest.float 1e-9) "mean" 5.0 (Sim.Stats.mean s);
+  check (Alcotest.float 1e-9) "variance" (32.0 /. 7.0) (Sim.Stats.variance s);
+  check (Alcotest.float 1e-9) "min" 2.0 (Sim.Stats.min_value s);
+  check (Alcotest.float 1e-9) "max" 9.0 (Sim.Stats.max_value s)
+
+let test_stats_empty () =
+  let s = Sim.Stats.create () in
+  check (Alcotest.float 0.0) "mean 0" 0.0 (Sim.Stats.mean s);
+  check (Alcotest.float 0.0) "variance 0" 0.0 (Sim.Stats.variance s);
+  check (Alcotest.float 0.0) "ci 0" 0.0 (Sim.Stats.ci95_half_width s)
+
+let test_percentile () =
+  let samples = [ 1.0; 2.0; 3.0; 4.0 ] in
+  check (Alcotest.float 1e-9) "p0" 1.0 (Sim.Stats.percentile samples 0.0);
+  check (Alcotest.float 1e-9) "p100" 4.0 (Sim.Stats.percentile samples 1.0);
+  check (Alcotest.float 1e-9) "median" 2.5 (Sim.Stats.percentile samples 0.5);
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Sim.Stats.percentile: empty sample list") (fun () ->
+      ignore (Sim.Stats.percentile [] 0.5))
+
+let test_histogram () =
+  let h = Sim.Stats.histogram ~bins:4 ~lo:0.0 ~hi:4.0 [ 0.5; 1.5; 1.7; 3.9; -1.0; 9.0 ] in
+  check Alcotest.(list int) "bins" [ 2; 2; 0; 2 ] (Array.to_list h)
+
+(* --- loss models --- *)
+
+let test_loss_validate () =
+  Sim.Loss.validate (Sim.Loss.bernoulli 0.3);
+  Sim.Loss.validate (Sim.Loss.gilbert ~p_gb:0.1 ~p_bg:0.5 ());
+  Alcotest.check_raises "bad bernoulli"
+    (Invalid_argument "Sim.Loss: loss outside [0,1]") (fun () ->
+      Sim.Loss.validate (Sim.Loss.bernoulli 1.5));
+  Alcotest.check_raises "bad gilbert"
+    (Invalid_argument "Sim.Loss: p_gb outside [0,1]") (fun () ->
+      Sim.Loss.validate (Sim.Loss.gilbert ~p_gb:(-0.1) ~p_bg:0.5 ()))
+
+let test_loss_expected () =
+  check (Alcotest.float 1e-9) "bernoulli" 0.2
+    (Sim.Loss.expected_loss (Sim.Loss.bernoulli 0.2));
+  (* pi_bad = 0.01 / 0.2 = 0.05, loss = 0.05 * 1.0 *)
+  check (Alcotest.float 1e-9) "gilbert" 0.05
+    (Sim.Loss.expected_loss (Sim.Loss.gilbert ~p_gb:0.01 ~p_bg:0.19 ()))
+
+let test_loss_empirical_rate () =
+  let rng = Sim.Rng.create 77L in
+  List.iter
+    (fun model ->
+      let st = Sim.Loss.start model in
+      let drops = ref 0 in
+      let n = 50_000 in
+      for _ = 1 to n do
+        if Sim.Loss.drops model st rng then incr drops
+      done;
+      let rate = float_of_int !drops /. float_of_int n in
+      let expected = Sim.Loss.expected_loss model in
+      check Alcotest.bool
+        (Printf.sprintf "empirical %.3f near expected %.3f" rate expected)
+        true
+        (abs_float (rate -. expected) < 0.01))
+    [ Sim.Loss.bernoulli 0.1; Sim.Loss.gilbert ~p_gb:0.02 ~p_bg:0.18 () ]
+
+let test_loss_burstiness () =
+  (* Gilbert losses cluster: the probability that a loss is followed by
+     another loss exceeds the average rate. *)
+  let model = Sim.Loss.gilbert ~p_gb:0.01 ~p_bg:0.19 () in
+  let rng = Sim.Rng.create 13L in
+  let st = Sim.Loss.start model in
+  let prev = ref false in
+  let after_loss = ref 0 and after_loss_lost = ref 0 in
+  for _ = 1 to 100_000 do
+    let d = Sim.Loss.drops model st rng in
+    if !prev then begin
+      incr after_loss;
+      if d then incr after_loss_lost
+    end;
+    prev := d
+  done;
+  let conditional =
+    float_of_int !after_loss_lost /. float_of_int !after_loss
+  in
+  check Alcotest.bool
+    (Printf.sprintf "P(loss|loss) = %.2f well above average 0.05" conditional)
+    true (conditional > 0.5)
+
+(* --- engine --- *)
+
+let test_engine_ordering () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  let note tag () = log := (tag, Sim.Engine.now e) :: !log in
+  ignore (Sim.Engine.schedule e ~delay:3.0 (note "c"));
+  ignore (Sim.Engine.schedule e ~delay:1.0 (note "a"));
+  ignore (Sim.Engine.schedule e ~delay:2.0 (note "b"));
+  Sim.Engine.run e;
+  check
+    Alcotest.(list (pair string (float 0.0)))
+    "time order"
+    [ ("a", 1.0); ("b", 2.0); ("c", 3.0) ]
+    (List.rev !log);
+  check Alcotest.int "executed" 3 (Sim.Engine.events_executed e)
+
+let test_engine_cancel () =
+  let e = Sim.Engine.create () in
+  let fired = ref false in
+  let t = Sim.Engine.schedule e ~delay:1.0 (fun () -> fired := true) in
+  Sim.Engine.cancel t;
+  Sim.Engine.run e;
+  check Alcotest.bool "cancelled" false !fired;
+  check Alcotest.int "not counted" 0 (Sim.Engine.events_executed e)
+
+let test_engine_until () =
+  let e = Sim.Engine.create () in
+  let count = ref 0 in
+  let rec beat () =
+    incr count;
+    ignore (Sim.Engine.schedule e ~delay:1.0 beat)
+  in
+  ignore (Sim.Engine.schedule e ~delay:1.0 beat);
+  Sim.Engine.run ~until:5.5 e;
+  check Alcotest.int "five beats" 5 !count;
+  check (Alcotest.float 1e-9) "clock at last event" 5.0 (Sim.Engine.now e)
+
+let test_engine_nested_scheduling () =
+  let e = Sim.Engine.create () in
+  let result = ref 0.0 in
+  ignore
+    (Sim.Engine.schedule e ~delay:2.0 (fun () ->
+         ignore
+           (Sim.Engine.schedule e ~delay:3.0 (fun () ->
+                result := Sim.Engine.now e))));
+  Sim.Engine.run e;
+  check (Alcotest.float 1e-9) "relative to fire time" 5.0 !result
+
+let test_engine_errors () =
+  let e = Sim.Engine.create () in
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Sim.Engine.schedule: negative delay") (fun () ->
+      ignore (Sim.Engine.schedule e ~delay:(-1.0) (fun () -> ())));
+  Alcotest.check_raises "past time"
+    (Invalid_argument "Sim.Engine.at: time in the past") (fun () ->
+      ignore (Sim.Engine.schedule e ~delay:5.0 (fun () -> ()));
+      Sim.Engine.run e;
+      ignore (Sim.Engine.at e ~time:1.0 (fun () -> ())))
+
+(* --- lossy links --- *)
+
+let test_net_delivers_in_window () =
+  let e = Sim.Engine.create ~seed:3L () in
+  let received = ref [] in
+  let link =
+    Sim.Net.create e ~delay_lo:1.0 ~delay_hi:2.0
+      ~deliver:(fun x -> received := (x, Sim.Engine.now e) :: !received)
+      ()
+  in
+  Sim.Net.send link "m1";
+  Sim.Net.send link "m2";
+  Sim.Engine.run e;
+  check Alcotest.int "both delivered" 2 (List.length !received);
+  List.iter
+    (fun (_, at) ->
+      if at < 1.0 || at > 2.0 then Alcotest.failf "delivery at %f" at)
+    !received;
+  check Alcotest.int "sent" 2 (Sim.Net.sent link);
+  check Alcotest.int "delivered" 2 (Sim.Net.delivered link);
+  check Alcotest.int "lost" 0 (Sim.Net.lost link)
+
+let test_net_loss_accounting () =
+  let e = Sim.Engine.create ~seed:8L () in
+  let delivered = ref 0 in
+  let link =
+    Sim.Net.create e ~loss:0.5 ~delay_lo:0.0 ~delay_hi:1.0
+      ~deliver:(fun () -> incr delivered)
+      ()
+  in
+  for _ = 1 to 1000 do
+    Sim.Net.send link ()
+  done;
+  Sim.Engine.run e;
+  check Alcotest.int "conservation" 1000
+    (Sim.Net.delivered link + Sim.Net.lost link);
+  check Alcotest.int "delivered callback count" (Sim.Net.delivered link) !delivered;
+  let rate = float_of_int (Sim.Net.lost link) /. 1000.0 in
+  check Alcotest.bool "loss near 0.5" true (rate > 0.44 && rate < 0.56)
+
+let test_net_down () =
+  let e = Sim.Engine.create () in
+  let delivered = ref 0 in
+  let link =
+    Sim.Net.create e ~delay_lo:0.0 ~delay_hi:0.0
+      ~deliver:(fun () -> incr delivered)
+      ()
+  in
+  Sim.Net.set_up link false;
+  Sim.Net.send link ();
+  Sim.Engine.run e;
+  check Alcotest.int "dropped" 1 (Sim.Net.lost link);
+  check Alcotest.int "nothing delivered" 0 !delivered
+
+let test_net_bad_args () =
+  let e = Sim.Engine.create () in
+  Alcotest.check_raises "bad delays" (Invalid_argument "Sim.Net.create: bad delay range")
+    (fun () ->
+      ignore (Sim.Net.create e ~delay_lo:2.0 ~delay_hi:1.0 ~deliver:ignore ()));
+  Alcotest.check_raises "bad loss" (Invalid_argument "Sim.Net.create: bad loss rate")
+    (fun () ->
+      ignore
+        (Sim.Net.create e ~loss:1.5 ~delay_lo:0.0 ~delay_hi:1.0 ~deliver:ignore ()))
+
+let tests =
+  ( "sim",
+    [
+      Alcotest.test_case "heap basics" `Quick test_heap_basic;
+      Alcotest.test_case "heap empty cases" `Quick test_heap_empty;
+      QCheck_alcotest.to_alcotest prop_heap_sorts;
+      QCheck_alcotest.to_alcotest prop_heap_size;
+      Alcotest.test_case "rng deterministic per seed" `Quick test_rng_deterministic;
+      Alcotest.test_case "rng seed sensitivity" `Quick test_rng_seed_sensitivity;
+      Alcotest.test_case "rng ranges" `Quick test_rng_ranges;
+      Alcotest.test_case "rng bernoulli bias" `Quick test_rng_bool_bias;
+      Alcotest.test_case "stats moments" `Quick test_stats_moments;
+      Alcotest.test_case "stats empty" `Quick test_stats_empty;
+      Alcotest.test_case "percentile" `Quick test_percentile;
+      Alcotest.test_case "histogram" `Quick test_histogram;
+      Alcotest.test_case "loss model validation" `Quick test_loss_validate;
+      Alcotest.test_case "loss expected rate" `Quick test_loss_expected;
+      Alcotest.test_case "loss empirical rate" `Quick test_loss_empirical_rate;
+      Alcotest.test_case "gilbert losses are bursty" `Quick test_loss_burstiness;
+      Alcotest.test_case "engine executes in time order" `Quick test_engine_ordering;
+      Alcotest.test_case "engine cancel" `Quick test_engine_cancel;
+      Alcotest.test_case "engine until" `Quick test_engine_until;
+      Alcotest.test_case "engine nested scheduling" `Quick
+        test_engine_nested_scheduling;
+      Alcotest.test_case "engine argument errors" `Quick test_engine_errors;
+      Alcotest.test_case "net delivers within window" `Quick
+        test_net_delivers_in_window;
+      Alcotest.test_case "net loss accounting" `Quick test_net_loss_accounting;
+      Alcotest.test_case "net down drops silently" `Quick test_net_down;
+      Alcotest.test_case "net argument errors" `Quick test_net_bad_args;
+    ] )
