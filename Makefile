@@ -1,0 +1,26 @@
+DUNE ?= dune
+
+.PHONY: all build test bench bench-parallel clean fmt
+
+all: build
+
+build:
+	$(DUNE) build
+
+test:
+	$(DUNE) runtest
+
+# Full benchmark run: table regeneration check, parallel-exploration
+# report, then the bechamel micro-benchmarks.
+bench:
+	$(DUNE) exec bench/main.exe
+
+# Just the sequential-vs-parallel exploration comparison.
+bench-parallel:
+	$(DUNE) exec bench/main.exe -- --parallel-only
+
+clean:
+	$(DUNE) clean
+
+fmt:
+	$(DUNE) fmt

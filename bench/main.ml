@@ -138,6 +138,68 @@ let regenerate () =
     [ 1; 2; 5; 10 ]
 
 (* ------------------------------------------------------------------ *)
+(* Part 1b: sequential vs parallel exploration                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The two exploration workloads used for the parallel-engine comparison:
+   the binary protocol with its R1 watchdogs (small space, deep levels)
+   and the static protocol with two participants — three automata, the
+   "ternary" configuration — whose ~240k-state space is the largest
+   explored in this harness. *)
+let binary_system () =
+  let params = H.Params.make ~tmin:1 ~tmax:10 () in
+  let model =
+    H.Ta_models.build ~with_r1_monitors:true H.Ta_models.Binary params
+  in
+  Ta.Semantics.system (Ta.Semantics.compile model)
+
+let ternary_system () =
+  let params = H.Params.make ~n:2 ~tmin:2 ~tmax:6 () in
+  let model = H.Ta_models.build H.Ta_models.Static params in
+  Ta.Semantics.system (Ta.Semantics.compile model)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let parallel_report () =
+  Format.printf
+    "@.=== parallel exploration: sequential vs 2/4 domains ===@.@.";
+  Format.printf "(host reports %d recommended domains)@.@."
+    (Domain.recommended_domain_count ());
+  List.iter
+    (fun (name, sys) ->
+      let (seq : (Ta.Semantics.config, Ta.Semantics.label) Mc.Explore.space), t_seq =
+        time (fun () -> Mc.Explore.space sys)
+      in
+      Format.printf "%-28s %8d states  seq %7.3fs@." name
+        (Lts.Graph.num_states seq.Mc.Explore.lts)
+        t_seq;
+      List.iter
+        (fun d ->
+          let (par, stats), t_par =
+            time (fun () -> Mc.Pexplore.space_stats ~domains:d sys)
+          in
+          let identical =
+            Marshal.to_string
+              (seq.Mc.Explore.lts, seq.Mc.Explore.states, seq.Mc.Explore.complete)
+              []
+            = Marshal.to_string
+                (par.Mc.Explore.lts, par.Mc.Explore.states, par.Mc.Explore.complete)
+                []
+          in
+          Format.printf
+            "%-28s %8s         %d dom %7.3fs  speedup %5.2fx  %s  (peak \
+             frontier %d)@."
+            "" "" d t_par (t_seq /. t_par)
+            (if identical then "byte-identical" else "MISMATCH")
+            stats.Mc.Pexplore.peak_frontier)
+        [ 2; 4 ])
+    [ ("binary+monitors(1,10)", binary_system ());
+      ("ternary static n=2 (2,6)", ternary_system ()) ]
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel timings                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -198,6 +260,25 @@ let bench_tests =
                  (H.Ta_models.build H.Ta_models.Binary params)
              in
              ignore (Mc.Explore.count (Ta.Semantics.system net))));
+      (* Sequential vs parallel exploration of the heartbeat spaces. *)
+      Test.make ~name:"pexplore/binary-seq"
+        (Staged.stage (fun () ->
+             ignore (Mc.Explore.space (binary_system ()))));
+      Test.make ~name:"pexplore/binary-2dom"
+        (Staged.stage (fun () ->
+             ignore (Mc.Pexplore.space ~domains:2 (binary_system ()))));
+      Test.make ~name:"pexplore/binary-4dom"
+        (Staged.stage (fun () ->
+             ignore (Mc.Pexplore.space ~domains:4 (binary_system ()))));
+      Test.make ~name:"pexplore/ternary-seq"
+        (Staged.stage (fun () ->
+             ignore (Mc.Explore.space (ternary_system ()))));
+      Test.make ~name:"pexplore/ternary-2dom"
+        (Staged.stage (fun () ->
+             ignore (Mc.Pexplore.space ~domains:2 (ternary_system ()))));
+      Test.make ~name:"pexplore/ternary-4dom"
+        (Staged.stage (fun () ->
+             ignore (Mc.Pexplore.space ~domains:4 (ternary_system ()))));
       Test.make ~name:"mc/regex-compile-step"
         (Staged.stage (fun () ->
              let r =
@@ -269,7 +350,14 @@ let run_benchmarks () =
     (List.sort compare rows)
 
 let () =
-  let bench_only = Array.exists (String.equal "--bench-only") Sys.argv in
-  let tables_only = Array.exists (String.equal "--tables-only") Sys.argv in
-  if not bench_only then regenerate ();
-  if not tables_only then run_benchmarks ()
+  let has f = Array.exists (String.equal f) Sys.argv in
+  let bench_only = has "--bench-only" in
+  let tables_only = has "--tables-only" in
+  if has "--parallel-only" then parallel_report ()
+  else begin
+    if not bench_only then regenerate ();
+    if not tables_only then begin
+      parallel_report ();
+      run_benchmarks ()
+    end
+  end

@@ -34,27 +34,61 @@ let fixed_arg = Arg.(value & flag & info [ "fixed" ] ~doc:"Fixed version.")
 let monitors_arg =
   Arg.(value & flag & info [ "monitors" ] ~doc:"Include the R1 watchdogs.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Exploration domains: 1 runs the sequential engine, more runs \
+           the parallel engine (identical output). 0 uses all cores.")
+
+let exploration_stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:"Print exploration statistics (states/s, frontier, shards).")
+
+let resolve_jobs jobs =
+  if jobs < 0 then failwith "--jobs must be >= 0"
+  else if jobs = 0 then Domain.recommended_domain_count ()
+  else jobs
+
 let stats_cmd =
-  let run variant tmin tmax n fixed monitors =
+  let run variant tmin tmax n fixed monitors jobs show_stats =
+    let jobs = resolve_jobs jobs in
     let params = H.Params.make ~n ~tmin ~tmax () in
     let model =
       H.Ta_models.build ~fixed ~with_r1_monitors:monitors variant params
     in
     let net = Ta.Semantics.compile model in
-    let space = Mc.Explore.space ~max_states:10_000_000 (Ta.Semantics.system net) in
+    let sys = Ta.Semantics.system net in
+    let max_states = 10_000_000 in
+    let space, stats =
+      if jobs <= 1 && not show_stats then
+        (Mc.Explore.space ~max_states sys, None)
+      else
+        let space, stats =
+          Mc.Pexplore.space_stats ~max_states ~domains:jobs sys
+        in
+        (space, Some stats)
+    in
     Format.printf "%s%s %a%s: %a (%s)@."
       (H.Ta_models.variant_name variant)
       (if fixed then " [fixed]" else "")
       H.Params.pp params
       (if monitors then " +monitors" else "")
       Lts.Graph.pp_stats space.Mc.Explore.lts
-      (if space.Mc.Explore.complete then "complete" else "TRUNCATED")
+      (if space.Mc.Explore.complete then "complete" else "TRUNCATED");
+    match stats with
+    | Some s when show_stats -> Format.printf "%a@." Mc.Pexplore.pp_stats s
+    | _ -> ()
   in
   Cmd.v
     (Cmd.info "stats" ~doc:"Reachable state space of a timed-automata model.")
     Term.(
       const run $ variant_arg $ tmin_arg $ tmax_arg $ n_arg $ fixed_arg
-      $ monitors_arg)
+      $ monitors_arg $ jobs_arg $ exploration_stats_arg)
 
 let pa_stats_cmd =
   let run tmin tmax n =
@@ -133,9 +167,10 @@ let export_cmd =
       $ fixed_arg)
 
 let deadlocks_cmd =
-  let run variant tmin tmax n fixed =
+  let run variant tmin tmax n fixed jobs =
+    let jobs = resolve_jobs jobs in
     let params = H.Params.make ~n ~tmin ~tmax () in
-    let free = H.Verify.deadlock_free ~fixed variant params in
+    let free = H.Verify.deadlock_free ~fixed ~domains:jobs variant params in
     Format.printf "%s %a: %s@."
       (H.Ta_models.variant_name variant)
       H.Params.pp params
@@ -144,7 +179,9 @@ let deadlocks_cmd =
   in
   Cmd.v
     (Cmd.info "deadlocks" ~doc:"Check a model for deadlocked configurations.")
-    Term.(const run $ variant_arg $ tmin_arg $ tmax_arg $ n_arg $ fixed_arg)
+    Term.(
+      const run $ variant_arg $ tmin_arg $ tmax_arg $ n_arg $ fixed_arg
+      $ jobs_arg)
 
 let () =
   let info =

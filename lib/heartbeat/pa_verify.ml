@@ -82,12 +82,12 @@ let monitors variant (p : Params.t) req :
           ~bad:(name_in [ Pa_models.act_inactivate_nv_p0 ]);
       ]
 
-let check ?(max_states = default_max) variant params req =
+let check ?(max_states = default_max) ?(domains = 1) variant params req =
   let spec = Pa_models.build variant params in
   let sys = Proc.Semantics.system spec in
   List.for_all
     (fun monitor ->
-      match Mc.Safety.check_monitor ~max_states sys monitor with
+      match Mc.Safety.check_monitor ~max_states ~domains sys monitor with
       | Mc.Safety.Holds -> true
       | Mc.Safety.Violated _ -> false
       | Mc.Safety.Unknown n ->
@@ -97,10 +97,12 @@ let check ?(max_states = default_max) variant params req =
             (Requirements.name req))
     (monitors variant params req)
 
-let state_count ?(max_states = default_max) variant params =
+let state_count ?(max_states = default_max) ?(domains = 1) variant params =
   let spec = Pa_models.build variant params in
   let count, complete =
-    Mc.Explore.count ~max_states (Proc.Semantics.system spec)
+    let sys = Proc.Semantics.system spec in
+    if domains <= 1 then Mc.Explore.count ~max_states sys
+    else Mc.Pexplore.count ~max_states ~domains sys
   in
   if not complete then failwith "Pa_verify.state_count: state bound exceeded";
   count

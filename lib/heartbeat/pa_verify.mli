@@ -13,13 +13,15 @@
 
 val check :
   ?max_states:int ->
+  ?domains:int ->
   Pa_models.variant ->
   Params.t ->
   Requirements.requirement ->
   bool
 (** [check variant params req] model-checks [req] on the process-algebra
-    model; [true] means the requirement holds.
+    model; [true] means the requirement holds.  [domains] (default 1)
+    selects the sequential or parallel exploration engine.
     @raise Failure if the state bound (default 4 million) is exceeded. *)
 
-val state_count : ?max_states:int -> Pa_models.variant -> Params.t -> int
+val state_count : ?max_states:int -> ?domains:int -> Pa_models.variant -> Params.t -> int
 (** Size of the reachable state space (for tests and benchmarks). *)

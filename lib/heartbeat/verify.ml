@@ -6,12 +6,15 @@ type outcome = {
 
 let default_max = 5_000_000
 
-let check ?(fixed = false) ?(max_states = default_max) variant params req =
+let check ?(fixed = false) ?(max_states = default_max) ?(domains = 1) variant
+    params req =
   let with_r1_monitors = Requirements.needs_monitors req in
   let model = Ta_models.build ~fixed ~with_r1_monitors variant params in
   let net = Ta.Semantics.compile model in
   let bad = Requirements.bad_state variant params net req in
-  match Mc.Safety.check_state ~max_states (Ta.Semantics.system net) bad with
+  match
+    Mc.Safety.check_state ~max_states ~domains (Ta.Semantics.system net) bad
+  with
   | Mc.Safety.Holds ->
       { holds = true; counterexample = None; states_explored = None }
   | Mc.Safety.Violated trace ->
@@ -23,23 +26,26 @@ let check ?(fixed = false) ?(max_states = default_max) variant params req =
         (Requirements.name req) Params.pp params
 
 (* R1 with an explicit watchdog bound. *)
-let r1_holds_with_bound ~fixed ~max_states variant params bound =
+let r1_holds_with_bound ~fixed ~max_states ~domains variant params bound =
   let model =
     Ta_models.build ~fixed ~with_r1_monitors:true ~r1_bound:bound variant
       params
   in
   let net = Ta.Semantics.compile model in
   let bad = Requirements.bad_state variant params net Requirements.R1 in
-  match Mc.Safety.check_state ~max_states (Ta.Semantics.system net) bad with
+  match
+    Mc.Safety.check_state ~max_states ~domains (Ta.Semantics.system net) bad
+  with
   | Mc.Safety.Holds -> true
   | Mc.Safety.Violated _ -> false
   | Mc.Safety.Unknown n ->
       Format.kasprintf failwith "Verify.worst_detection: state bound %d hit" n
 
-let worst_detection ?(fixed = false) ?(max_states = default_max) variant
-    params =
+let worst_detection ?(fixed = false) ?(max_states = default_max)
+    ?(domains = 1) variant params =
   let ceiling = 4 * params.Params.tmax in
-  if not (r1_holds_with_bound ~fixed ~max_states variant params ceiling) then
+  if not (r1_holds_with_bound ~fixed ~max_states ~domains variant params ceiling)
+  then
     Format.kasprintf failwith
       "Verify.worst_detection: no detection within %d (%s, %a)" ceiling
       (Ta_models.variant_name variant)
@@ -50,8 +56,8 @@ let worst_detection ?(fixed = false) ?(max_states = default_max) variant
     if hi - lo <= 1 then hi
     else
       let mid = (lo + hi) / 2 in
-      if r1_holds_with_bound ~fixed ~max_states variant params mid then
-        search lo mid
+      if r1_holds_with_bound ~fixed ~max_states ~domains variant params mid
+      then search lo mid
       else search mid hi
   in
   search 0 ceiling
@@ -59,11 +65,11 @@ let worst_detection ?(fixed = false) ?(max_states = default_max) variant
 type row = { tmin : int; tmax : int; r1 : bool; r2 : bool; r3 : bool }
 
 let table ?(fixed = false) ?(n = 1) ?(datasets = Params.table_datasets)
-    variant =
+    ?(domains = 1) variant =
   List.map
     (fun (tmin, tmax) ->
       let params = Params.make ~n ~tmin ~tmax () in
-      let outcome req = (check ~fixed variant params req).holds in
+      let outcome req = (check ~fixed ~domains variant params req).holds in
       {
         tmin;
         tmax;
@@ -88,15 +94,15 @@ let pp_table ppf ~header rows =
   List.iter (fun r -> Format.fprintf ppf " %4s" (tf r.r3)) rows;
   Format.fprintf ppf "@."
 
-let deadlock_free ?(fixed = false) ?(max_states = default_max) variant params
-    =
+let deadlock_free ?(fixed = false) ?(max_states = default_max) ?(domains = 1)
+    variant params =
   let model = Ta_models.build ~fixed variant params in
   let net = Ta.Semantics.compile model in
   let sys = Ta.Semantics.system net in
+  let goal c = Ta.Semantics.successors net c = [] in
   match
-    Mc.Explore.find ~max_states
-      ~goal:(fun c -> Ta.Semantics.successors net c = [])
-      sys
+    if domains <= 1 then Mc.Explore.find ~max_states ~goal sys
+    else Mc.Pexplore.find ~max_states ~domains ~goal sys
   with
   | Mc.Explore.Unreachable -> true
   | Mc.Explore.Reached _ -> false

@@ -15,11 +15,14 @@ type outcome = {
 val check :
   ?fixed:bool ->
   ?max_states:int ->
+  ?domains:int ->
   Ta_models.variant ->
   Params.t ->
   Requirements.requirement ->
   outcome
-(** Model-check one requirement.
+(** Model-check one requirement.  [domains] (default 1) selects the
+    sequential or the parallel exploration engine ({!Mc.Pexplore}); the
+    verdict and counterexample length are identical either way.
     @raise Failure if the state bound is exceeded (no verdict). *)
 
 type row = {
@@ -34,6 +37,7 @@ val table :
   ?fixed:bool ->
   ?n:int ->
   ?datasets:(int * int) list ->
+  ?domains:int ->
   Ta_models.variant ->
   row list
 (** One verification row per data set (default: the paper's
@@ -45,7 +49,7 @@ val pp_table :
 (** Render rows in the layout of the paper's tables ([T]/[F] entries). *)
 
 val worst_detection :
-  ?fixed:bool -> ?max_states:int -> Ta_models.variant -> Params.t -> int
+  ?fixed:bool -> ?max_states:int -> ?domains:int -> Ta_models.variant -> Params.t -> int
 (** The exact worst-case time between the last heartbeat received by
     p\[0\] and p\[0\]'s inactivation, measured {e on the model}: the
     smallest watchdog bound [B] such that the R1 property with bound [B]
@@ -55,7 +59,7 @@ val worst_detection :
     starve forever — e.g. the dynamic protocol's leave semantics). *)
 
 val deadlock_free :
-  ?fixed:bool -> ?max_states:int -> Ta_models.variant -> Params.t -> bool
+  ?fixed:bool -> ?max_states:int -> ?domains:int -> Ta_models.variant -> Params.t -> bool
 (** Sanity check used by the test suite: the model has no configuration
     without successors (would indicate a modelling artefact such as a
     blocked urgent location). *)

@@ -40,6 +40,11 @@ let space (type s l) ?(max_states = default_max)
     let i, s = Queue.pop queue in
     List.iter
       (fun (l, s') ->
+        (* Truncation contract: once the bound is reached no new state is
+           interned, but every retained state is still expanded and
+           transitions between retained states are kept — the result is
+           the induced subgraph on the first [max_states] states in BFS
+           discovery order (see the .mli). *)
         if !count < max_states || T.mem index s' then begin
           let before = !count in
           let j = intern s' in

@@ -12,9 +12,26 @@ type ('s, 'l) space = {
   complete : bool;  (** [false] iff exploration hit [max_states] *)
 }
 
+val default_max : int
+(** The default [max_states] bound (one million). *)
+
 val space : ?max_states:int -> ('s, 'l) System.t -> ('s, 'l) space
 (** [space sys] builds the reachable state graph of [sys] breadth-first.
-    [max_states] defaults to one million. *)
+    [max_states] defaults to {!default_max}.
+
+    {b Truncation contract.}  State [0] is the initial state and states are
+    numbered in BFS discovery order (for each explored state in index
+    order, successors are interned in the order {!System.S.successors}
+    lists them).  When the reachable space exceeds [max_states], the result
+    is the {e induced subgraph} on the first [max_states] states in that
+    discovery order: every such state is still expanded, a transition is
+    kept if and only if both its endpoints are among the retained states,
+    and [complete] is [false] exactly when at least one successor fell
+    outside the retained set.  In particular a bound equal to the exact
+    number of reachable states yields [complete = true], and for a fixed
+    successor function the truncated result is fully deterministic:
+    [states] is a prefix of the unbounded [states] array and the transition
+    list is the order-preserving restriction of the unbounded one. *)
 
 type ('s, 'l) witness = {
   trace : 'l list;  (** labels of a shortest path from the initial state *)

@@ -1,0 +1,547 @@
+(* Parallel explicit-state exploration over OCaml 5 domains.
+
+   The engine runs a level-synchronised parallel BFS: the frontier of each
+   BFS level is split into contiguous chunks, one per domain, and every
+   domain expands its chunk against a shared, lock-striped state table
+   sharded by [S.hash_state].  Freshly interned states receive a
+   *provisional* id from a global atomic counter, so provisional numbering
+   depends on the domain interleaving.  Determinism is restored by a final
+   sequential *replay*: a cheap BFS over the already-collected adjacency
+   (integer arrays only — no successor recomputation, no hashing) renumbers
+   states in canonical sequential discovery order and re-applies the exact
+   truncation gate of [Explore.space].  The produced [Explore.space] is
+   therefore byte-identical to the sequential result for every domain
+   count.
+
+   Truncation: interning stops only at level boundaries (the first level
+   whose cumulative state count reaches [max_states] is interned in full,
+   then expanded lookup-only for back-edges), so the canonical first
+   [max_states] states — always a prefix of complete BFS levels plus part
+   of the boundary level — are guaranteed to be in the table, and the
+   replay can cut exactly where the sequential engine would have. *)
+
+type stats = {
+  states : int;
+  transitions : int;
+  wall_seconds : float;
+  states_per_sec : float;
+  peak_frontier : int;
+  depth_histogram : int array;
+  shard_occupancy : int array;
+  domains_used : int;
+}
+
+let pp_stats ppf s =
+  let occ_min, occ_max =
+    Array.fold_left
+      (fun (mn, mx) o -> (min mn o, max mx o))
+      (max_int, 0) s.shard_occupancy
+  in
+  Format.fprintf ppf
+    "@[<v>%d states, %d transitions in %.3fs (%.0f states/s, %d domains)@,\
+     depth %d, peak frontier %d, shard occupancy %d..%d over %d shards@]"
+    s.states s.transitions s.wall_seconds s.states_per_sec s.domains_used
+    (Array.length s.depth_histogram - 1)
+    s.peak_frontier occ_min occ_max
+    (Array.length s.shard_occupancy)
+
+let default_domains () = max 1 (Domain.recommended_domain_count ())
+let default_shards = 64
+
+(* Frontiers smaller than this are expanded on the calling domain; the
+   hand-off cost would dwarf the work. *)
+let small_frontier = 128
+
+(* --- worker crew -------------------------------------------------------- *)
+
+(* A persistent SPMD crew: [size - 1] worker domains plus the caller.
+   [run crew job] executes [job k] for every member [k] (the caller takes
+   chunk 0) and returns when all are done, re-raising the first exception
+   any member observed.  Spawning once per exploration keeps the per-level
+   synchronisation cost to a mutex/condvar round-trip. *)
+module Crew = struct
+  type t = {
+    size : int;
+    mutable job : int -> unit;
+    mutable gen : int;
+    mutable completed : int;
+    mutable failure : exn option;
+    mutable stop : bool;
+    m : Mutex.t;
+    start : Condition.t;
+    finished : Condition.t;
+    mutable members : unit Domain.t array;
+  }
+
+  let worker t k =
+    let my_gen = ref 0 in
+    let running = ref true in
+    while !running do
+      Mutex.lock t.m;
+      while (not t.stop) && t.gen = !my_gen do
+        Condition.wait t.start t.m
+      done;
+      if t.stop then begin
+        Mutex.unlock t.m;
+        running := false
+      end
+      else begin
+        my_gen := t.gen;
+        let job = t.job in
+        Mutex.unlock t.m;
+        let fail = match job k with () -> None | exception e -> Some e in
+        Mutex.lock t.m;
+        (match fail with
+        | Some _ when t.failure = None -> t.failure <- fail
+        | _ -> ());
+        t.completed <- t.completed + 1;
+        if t.completed = t.size - 1 then Condition.signal t.finished;
+        Mutex.unlock t.m
+      end
+    done
+
+  let create size =
+    let t =
+      {
+        size;
+        job = ignore;
+        gen = 0;
+        completed = 0;
+        failure = None;
+        stop = false;
+        m = Mutex.create ();
+        start = Condition.create ();
+        finished = Condition.create ();
+        members = [||];
+      }
+    in
+    if size > 1 then
+      t.members <-
+        Array.init (size - 1) (fun k -> Domain.spawn (fun () -> worker t (k + 1)));
+    t
+
+  let run t job =
+    if t.size = 1 then job 0
+    else begin
+      Mutex.lock t.m;
+      t.job <- job;
+      t.completed <- 0;
+      t.failure <- None;
+      t.gen <- t.gen + 1;
+      Condition.broadcast t.start;
+      Mutex.unlock t.m;
+      let fail0 = match job 0 with () -> None | exception e -> Some e in
+      Mutex.lock t.m;
+      while t.completed < t.size - 1 do
+        Condition.wait t.finished t.m
+      done;
+      let fail = match fail0 with None -> t.failure | some -> some in
+      Mutex.unlock t.m;
+      match fail with Some e -> raise e | None -> ()
+    end
+
+  let shutdown t =
+    if t.size > 1 then begin
+      Mutex.lock t.m;
+      t.stop <- true;
+      Condition.broadcast t.start;
+      Mutex.unlock t.m;
+      Array.iter Domain.join t.members;
+      t.members <- [||]
+    end
+end
+
+(* --- the engine, functorised over the system ---------------------------- *)
+
+let round_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+module Engine (S : System.S) = struct
+  module T = Hashtbl.Make (struct
+    type t = S.state
+
+    let equal = S.equal_state
+    let hash = S.hash_state
+  end)
+
+  (* Lock-striped state table: shard by state hash, one mutex per shard,
+     provisional ids from a global atomic counter. *)
+  type table = {
+    shards : int T.t array;
+    locks : Mutex.t array;
+    mask : int;
+    next : int Atomic.t;
+  }
+
+  let make_table nshards =
+    let nshards = round_pow2 (max 1 nshards) in
+    {
+      shards = Array.init nshards (fun _ -> T.create 512);
+      locks = Array.init nshards (fun _ -> Mutex.create ());
+      mask = nshards - 1;
+      next = Atomic.make 0;
+    }
+
+  let shard_of tbl s = S.hash_state s land max_int land tbl.mask
+
+  (* Lookup-or-insert; returns the provisional id and whether the state was
+     fresh.  Only the owning shard is locked. *)
+  let intern tbl s =
+    let k = shard_of tbl s in
+    let lock = tbl.locks.(k) in
+    Mutex.lock lock;
+    match T.find_opt tbl.shards.(k) s with
+    | Some pid ->
+        Mutex.unlock lock;
+        (pid, false)
+    | None ->
+        let pid = Atomic.fetch_and_add tbl.next 1 in
+        T.add tbl.shards.(k) s pid;
+        Mutex.unlock lock;
+        (pid, true)
+
+  (* Read-only lookup; used only in the final back-edge pass, after every
+     writer has synchronised at the level barrier. *)
+  let find_pid tbl s =
+    match T.find_opt tbl.shards.(shard_of tbl s) s with
+    | Some pid -> pid
+    | None -> -1
+
+  (* Per-domain per-level output buffers.  [fresh] keeps, for every state
+     this domain won the intern race for: provisional id, state, parent
+     edge, goal flag.  [recs] keeps one successor record per expanded
+     frontier slot. *)
+  type chunk = {
+    mutable recs : (int * (S.label * int) array) list;
+    mutable fresh : (int * S.state * int * S.label * bool) list;
+    mutable fresh_n : int;
+  }
+
+  let new_chunk () = { recs = []; fresh = []; fresh_n = 0 }
+
+  let expand_chunk ~lookup_only ~goal tbl (front : (int * S.state) array) lo hi
+      out =
+    for i = lo to hi - 1 do
+      let pid, s = front.(i) in
+      let cells =
+        List.map
+          (fun (l, s') ->
+            let j =
+              if lookup_only then find_pid tbl s'
+              else begin
+                let j, is_fresh = intern tbl s' in
+                if is_fresh then begin
+                  out.fresh <- (j, s', pid, l, goal s') :: out.fresh;
+                  out.fresh_n <- out.fresh_n + 1
+                end;
+                j
+              end
+            in
+            (l, j))
+          (S.successors s)
+      in
+      out.recs <- (pid, Array.of_list cells) :: out.recs
+    done
+
+  (* Growable pid-indexed stores.  Provisional ids are dense, so plain
+     doubling arrays indexed by pid suffice; they are written only by the
+     coordinating domain, between level barriers. *)
+  type store = {
+    mutable states_of : S.state array;
+    mutable adj : (S.label * int) array array;
+    mutable parent : (int * S.label) option array; (* (parent pid, label) *)
+    mutable goal_flag : Bytes.t;
+  }
+
+  let no_adj : (S.label * int) array = [||]
+
+  let make_store s0 =
+    {
+      states_of = Array.make 1024 s0;
+      adj = Array.make 1024 no_adj;
+      parent = Array.make 1024 None;
+      goal_flag = Bytes.make 1024 '\000';
+    }
+
+  let ensure st n =
+    let cap = Array.length st.states_of in
+    if n > cap then begin
+      let cap' = max n (2 * cap) in
+      let grow a fill =
+        let a' = Array.make cap' fill in
+        Array.blit a 0 a' 0 cap;
+        a'
+      in
+      st.states_of <- grow st.states_of st.states_of.(0);
+      st.adj <- grow st.adj no_adj;
+      st.parent <- grow st.parent None;
+      let b = Bytes.make cap' '\000' in
+      Bytes.blit st.goal_flag 0 b 0 cap;
+      st.goal_flag <- b
+    end
+
+  type exploration = {
+    total : int;  (* provisional states interned (may overshoot the bound) *)
+    store : store;
+    levels : int list;  (* level sizes, deepest first *)
+    dropped : bool;  (* back-edge pass saw an unknown successor *)
+    tbl : table;
+  }
+
+  (* The shared level-synchronised loop.  [keep_adj] retains successor
+     records for the replay; [goal] marks fresh states; [stop_on_goal]
+     ends the loop at the first level that both contains a goal-flagged
+     state and is entirely within the canonical [max_states] prefix. *)
+  let explore ~max_states ~domains ~shards ~progress ~keep_adj ~goal
+      ~stop_on_goal () =
+    if domains < 1 then invalid_arg "Mc.Pexplore: domains must be >= 1";
+    if max_states < 0 then invalid_arg "Mc.Pexplore: negative max_states";
+    let crew = Crew.create domains in
+    Fun.protect ~finally:(fun () -> Crew.shutdown crew) @@ fun () ->
+    let tbl = make_table shards in
+    let pid0, _ = intern tbl S.initial in
+    let store = make_store S.initial in
+    Bytes.set store.goal_flag pid0 (if goal S.initial then '\001' else '\000');
+    let levels = ref [] in
+    let record_recs chunks =
+      if keep_adj then
+        Array.iter
+          (fun c ->
+            List.iter (fun (pid, cells) -> store.adj.(pid) <- cells) c.recs)
+          chunks
+    in
+    let expand ~lookup_only front =
+      let n = Array.length front in
+      let chunks = Array.init domains (fun _ -> new_chunk ()) in
+      if domains = 1 || n < small_frontier then
+        expand_chunk ~lookup_only ~goal tbl front 0 n chunks.(0)
+      else
+        Crew.run crew (fun k ->
+            expand_chunk ~lookup_only ~goal tbl front (k * n / domains)
+              ((k + 1) * n / domains)
+              chunks.(k));
+      chunks
+    in
+    let rec loop front depth =
+      levels := Array.length front :: !levels;
+      let total = Atomic.get tbl.next in
+      progress ~depth ~states:total ~frontier:(Array.length front);
+      if total >= max_states then begin
+        (* Overflow level: fully interned already, cumulative count at or
+           past the bound.  Expand it lookup-only so the replay sees the
+           back-edges the sequential engine keeps, then stop. *)
+        let chunks = expand ~lookup_only:true front in
+        record_recs chunks;
+        let dropped =
+          Array.exists
+            (fun c ->
+              List.exists
+                (fun (_, cells) -> Array.exists (fun (_, j) -> j < 0) cells)
+                c.recs)
+            chunks
+        in
+        { total; store; levels = !levels; dropped; tbl }
+      end
+      else if Array.length front = 0 then
+        { total; store; levels = List.tl !levels; dropped = false; tbl }
+      else begin
+        let chunks = expand ~lookup_only:false front in
+        record_recs chunks;
+        let total' = Atomic.get tbl.next in
+        ensure store total';
+        let fresh_n = Array.fold_left (fun n c -> n + c.fresh_n) 0 chunks in
+        let next = Array.make fresh_n (pid0, S.initial) in
+        let goal_hit = ref false in
+        (* Concatenate the per-chunk fresh lists (each reversed) into the
+           next frontier, filling every chunk's slice back to front. *)
+        let k = ref fresh_n in
+        for ci = domains - 1 downto 0 do
+          List.iter
+            (fun (pid, s, parent_pid, l, g) ->
+              decr k;
+              next.(!k) <- (pid, s);
+              store.states_of.(pid) <- s;
+              store.parent.(pid) <- Some (parent_pid, l);
+              if g then begin
+                Bytes.set store.goal_flag pid '\001';
+                goal_hit := true
+              end)
+            chunks.(ci).fresh
+        done;
+        if !goal_hit && stop_on_goal && total' <= max_states then
+          { total = total'; store; levels = !levels; dropped = false; tbl }
+        else loop next (depth + 1)
+      end
+    in
+    loop [| (pid0, S.initial) |] 0
+
+  (* Canonical replay: renumber provisional ids in sequential BFS discovery
+     order and re-apply the exact truncation gate of [Explore.space].
+     Returns the canonical order [pid_of] (canonical index -> pid), the
+     canonical count, and — when [emit] — the transition list and complete
+     flag. *)
+  let replay ~max_states ~emit expl =
+    let total = expl.total in
+    let st = expl.store in
+    let canon = Array.make total (-1) in
+    let cap = max 1 (min total (max max_states 1)) in
+    let pid_of = Array.make cap (-1) in
+    let count = ref 0 in
+    let complete = ref true in
+    let trans = ref [] in
+    let intern pid =
+      if canon.(pid) >= 0 then canon.(pid)
+      else begin
+        let c = !count in
+        canon.(pid) <- c;
+        pid_of.(c) <- pid;
+        incr count;
+        c
+      end
+    in
+    let (_ : int) = intern 0 in
+    let c = ref 0 in
+    while !c < !count do
+      let pid = pid_of.(!c) in
+      Array.iter
+        (fun (l, dst) ->
+          if dst >= 0 && (!count < max_states || canon.(dst) >= 0) then begin
+            let j = intern dst in
+            if emit then trans := (!c, l, j) :: !trans
+          end
+          else complete := false)
+        st.adj.(pid);
+      incr c
+    done;
+    (pid_of, !count, List.rev !trans, !complete)
+
+  let shard_occupancy tbl = Array.map T.length tbl.shards
+
+  let space ~max_states ~domains ~shards ~progress () =
+    let t0 = Unix.gettimeofday () in
+    let expl =
+      explore ~max_states ~domains ~shards ~progress ~keep_adj:true
+        ~goal:(fun _ -> false)
+        ~stop_on_goal:false ()
+    in
+    let pid_of, count, transitions, complete =
+      replay ~max_states ~emit:true expl
+    in
+    let states = Array.init count (fun c -> expl.store.states_of.(pid_of.(c))) in
+    let lts = Lts.Graph.make ~num_states:count ~initial:0 transitions in
+    let wall = Unix.gettimeofday () -. t0 in
+    let stats =
+      {
+        states = count;
+        transitions = Lts.Graph.num_transitions lts;
+        wall_seconds = wall;
+        states_per_sec = (if wall > 0. then float_of_int count /. wall else 0.);
+        peak_frontier = List.fold_left max 0 expl.levels;
+        depth_histogram = Array.of_list (List.rev expl.levels);
+        shard_occupancy = shard_occupancy expl.tbl;
+        domains_used = domains;
+      }
+    in
+    ({ Explore.lts; states; complete }, stats)
+
+  let count ~max_states ~domains ~shards () =
+    let expl =
+      explore ~max_states ~domains ~shards
+        ~progress:(fun ~depth:_ ~states:_ ~frontier:_ -> ())
+        ~keep_adj:false
+        ~goal:(fun _ -> false)
+        ~stop_on_goal:false ()
+    in
+    (* Mirrors [Explore.count]: the canonical count is the bounded prefix,
+       and the space is complete iff nothing fell outside the table. The
+       effective bound floors at one because the initial state is always
+       interned, even under [max_states = 0]. *)
+    let n = max 1 (min expl.total max_states) in
+    (n, expl.total <= max 1 max_states && not expl.dropped)
+
+  let trace_to st pid =
+    let rec go pid acc =
+      match st.parent.(pid) with
+      | None -> acc
+      | Some (parent, l) -> go parent (l :: acc)
+    in
+    go pid []
+
+  let find ~max_states ~domains ~shards ~goal () =
+    if goal S.initial then
+      Explore.Reached { Explore.trace = []; state = S.initial }
+    else begin
+      let expl =
+        explore ~max_states ~domains ~shards
+          ~progress:(fun ~depth:_ ~states:_ ~frontier:_ -> ())
+          ~keep_adj:true ~goal ~stop_on_goal:true ()
+      in
+      let st = expl.store in
+      (* The effective bound floors at one: the initial state is interned
+         even under [max_states = 0], exactly as in [Explore.find]. *)
+      let emax = max 1 max_states in
+      if expl.total > emax || (expl.total = emax && expl.dropped) then begin
+        (* Truncated: only the canonical [max_states] prefix counts, and
+           only a goal state inside it is a sequential-parity witness. *)
+        let pid_of, count, _, _ = replay ~max_states ~emit:false expl in
+        let witness = ref (-1) in
+        let c = ref 0 in
+        while !witness < 0 && !c < count do
+          let pid = pid_of.(!c) in
+          if Bytes.get st.goal_flag pid = '\001' then witness := pid;
+          incr c
+        done;
+        if !witness >= 0 then
+          Explore.Reached
+            {
+              Explore.trace = trace_to st !witness;
+              state = st.states_of.(!witness);
+            }
+        else Explore.Bound_hit max_states
+      end
+      else begin
+        (* Everything interned is canonical; any goal-flagged state is a
+           shortest witness (the loop stopped at its level). *)
+        let witness = ref (-1) in
+        for pid = 0 to expl.total - 1 do
+          if !witness < 0 && Bytes.get st.goal_flag pid = '\001' then
+            witness := pid
+        done;
+        if !witness >= 0 then
+          Explore.Reached
+            {
+              Explore.trace = trace_to st !witness;
+              state = st.states_of.(!witness);
+            }
+        else Explore.Unreachable
+      end
+    end
+end
+
+(* --- public entry points ------------------------------------------------ *)
+
+let no_progress ~depth:_ ~states:_ ~frontier:_ = ()
+
+let space_stats (type s l) ?(max_states = Explore.default_max) ?domains
+    ?(shards = default_shards) ?(progress = no_progress)
+    (sys : (s, l) System.t) : (s, l) Explore.space * stats =
+  let domains = match domains with Some d -> d | None -> default_domains () in
+  let module E = Engine ((val sys)) in
+  E.space ~max_states ~domains ~shards ~progress ()
+
+let space ?max_states ?domains ?shards ?progress sys =
+  fst (space_stats ?max_states ?domains ?shards ?progress sys)
+
+let count (type s l) ?(max_states = Explore.default_max) ?domains
+    ?(shards = default_shards) (sys : (s, l) System.t) : int * bool =
+  let domains = match domains with Some d -> d | None -> default_domains () in
+  let module E = Engine ((val sys)) in
+  E.count ~max_states ~domains ~shards ()
+
+let find (type s l) ?(max_states = Explore.default_max) ?domains
+    ?(shards = default_shards) ~goal (sys : (s, l) System.t) :
+    (s, l) Explore.verdict =
+  let domains = match domains with Some d -> d | None -> default_domains () in
+  let module E = Engine ((val sys)) in
+  E.find ~max_states ~domains ~shards ~goal ()

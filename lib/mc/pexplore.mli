@@ -1,0 +1,79 @@
+(** Parallel explicit-state exploration (OCaml 5 domains).
+
+    A level-synchronised parallel BFS over a sharded, lock-striped state
+    table: each BFS level is split into contiguous chunks, one per domain,
+    successors are expanded per-domain and interned into the shard owning
+    their {!System.S.hash_state}, and freshly discovered states are handed
+    back in batches to form the next level.  A final sequential replay over
+    the collected integer adjacency renumbers states into canonical
+    sequential BFS discovery order, so results are {e deterministic and
+    byte-identical} to the sequential engine:
+
+    - {!space} produces exactly the {!Explore.space} result — same state
+      numbering, same transition order, same [states] array, same
+      [complete] flag, and the same truncation contract under
+      [max_states] — for every domain count;
+    - {!find} agrees with {!Explore.find} on the verdict constructor, on
+      the witness trace length (shortest), and on {!Explore.Bound_hit}
+      truncation behaviour (the racing domains are canonicalised to a
+      minimal-depth witness);
+    - {!count} agrees with {!Explore.count}.
+
+    [domains] defaults to [Domain.recommended_domain_count ()]; [1] runs
+    the whole pipeline on the calling domain.  [shards] (default 64,
+    rounded up to a power of two) sets the number of lock stripes of the
+    state table.  Worker domains are spawned once per exploration and
+    synchronise per level, so the hand-off cost is two condvar round-trips
+    per BFS level. *)
+
+type stats = {
+  states : int;  (** canonical (retained) states *)
+  transitions : int;
+  wall_seconds : float;
+  states_per_sec : float;
+  peak_frontier : int;  (** largest BFS level *)
+  depth_histogram : int array;  (** states discovered per BFS level *)
+  shard_occupancy : int array;  (** interned states per table shard *)
+  domains_used : int;
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val space :
+  ?max_states:int ->
+  ?domains:int ->
+  ?shards:int ->
+  ?progress:(depth:int -> states:int -> frontier:int -> unit) ->
+  ('s, 'l) System.t ->
+  ('s, 'l) Explore.space
+(** [space sys] builds the reachable state graph in parallel.  The result
+    is byte-identical to [Explore.space ?max_states sys] regardless of
+    [domains].  [progress] is invoked once per BFS level (from the
+    coordinating domain) with the current depth, interned state count and
+    frontier size. *)
+
+val space_stats :
+  ?max_states:int ->
+  ?domains:int ->
+  ?shards:int ->
+  ?progress:(depth:int -> states:int -> frontier:int -> unit) ->
+  ('s, 'l) System.t ->
+  ('s, 'l) Explore.space * stats
+(** Like {!space}, additionally returning exploration statistics. *)
+
+val count : ?max_states:int -> ?domains:int -> ?shards:int -> ('s, 'l) System.t -> int * bool
+(** Parallel {!Explore.count}: reachable-state count plus completeness
+    flag, without retaining the graph. *)
+
+val find :
+  ?max_states:int ->
+  ?domains:int ->
+  ?shards:int ->
+  goal:('s -> bool) ->
+  ('s, 'l) System.t ->
+  ('s, 'l) Explore.verdict
+(** Parallel {!Explore.find}: domains race over each BFS level and the
+    winner is canonicalised to a minimal-depth witness, so [Reached]
+    traces have exactly the sequential (shortest) length and replay to a
+    goal state; [Unreachable] and [Bound_hit] verdicts coincide with the
+    sequential engine's. *)

@@ -189,9 +189,12 @@ let system (spec : Spec.t) : (state, label) Mc.System.t =
     let pp_label = pp_label
   end)
 
-let lts ?max_states spec =
+let lts ?max_states ?(domains = 1) spec =
   let sys = system spec in
-  let space = Mc.Explore.space ?max_states sys in
+  let space =
+    if domains <= 1 then Mc.Explore.space ?max_states sys
+    else Mc.Pexplore.space ?max_states ~domains sys
+  in
   if not space.Mc.Explore.complete then
     failwith "Proc.Semantics.lts: state bound exceeded";
   space.Mc.Explore.lts

@@ -32,6 +32,8 @@ val system : Spec.t -> (state, label) Mc.System.t
 (** Compile a (validated) specification into an explorable system.
     @raise Invalid_argument if {!Spec.validate} rejects the spec. *)
 
-val lts : ?max_states:int -> Spec.t -> label Lts.Graph.t
+val lts : ?max_states:int -> ?domains:int -> Spec.t -> label Lts.Graph.t
 (** Convenience: the reachable labelled transition system of the spec.
+    [domains] (default 1) selects the sequential ({!Mc.Explore}) or
+    parallel ({!Mc.Pexplore}) engine; the graph is identical either way.
     @raise Failure if [max_states] is exceeded. *)

@@ -79,6 +79,166 @@ let test_find_bound () =
   | Mc.Explore.Bound_hit n -> check Alcotest.int "bound" 4 n
   | _ -> Alcotest.fail "expected Bound_hit"
 
+(* --- truncation contract (see Explore.space doc) --- *)
+
+(* A random sparse successor table over states 0..n-1, for contract
+   properties. *)
+type rand_sys = { n : int; succ : (string * int) array array }
+
+let table_system { succ; _ } : (int, string) Mc.System.t =
+  (module struct
+    type state = int
+    type label = string
+
+    let initial = 0
+    let successors s = Array.to_list succ.(s)
+    let equal_state = Int.equal
+    let hash_state = Hashtbl.hash
+    let pp_state = Format.pp_print_int
+    let pp_label = Format.pp_print_string
+  end)
+
+let rand_sys_arb =
+  let open QCheck.Gen in
+  let gen =
+    int_range 1 30 >>= fun n ->
+    let edge = pair (oneofl [ "a"; "b"; "c" ]) (int_bound (n - 1)) in
+    array_size (return n) (array_size (int_bound 3) edge) >>= fun succ ->
+    return { n; succ }
+  in
+  let print { n; succ } =
+    Format.asprintf "%d states:%s" n
+      (String.concat ""
+         (List.mapi
+            (fun s edges ->
+              Printf.sprintf " %d->[%s]" s
+                (String.concat ","
+                   (List.map
+                      (fun (l, t) -> l ^ string_of_int t)
+                      (Array.to_list edges))))
+            (Array.to_list succ)))
+  in
+  QCheck.make ~print gen
+
+(* Truncated exploration is the induced subgraph on the first [max_states]
+   states in BFS discovery order: the state array is a prefix of the full
+   one, the transition list is the order-preserving restriction to retained
+   endpoints, and [complete] is false exactly when states were cut. *)
+let prop_truncation_prefix =
+  QCheck.Test.make ~name:"truncated space = induced prefix subgraph"
+    ~count:200
+    QCheck.(pair rand_sys_arb small_nat)
+    (fun (rs, m) ->
+      let sys = table_system rs in
+      let full = Mc.Explore.space sys in
+      let full_n = Lts.Graph.num_states full.Mc.Explore.lts in
+      let k = m mod (full_n + 2) in
+      let tr = Mc.Explore.space ~max_states:k sys in
+      let kept = Lts.Graph.num_states tr.Mc.Explore.lts in
+      kept = max 1 (min k full_n)
+      && tr.Mc.Explore.states = Array.sub full.Mc.Explore.states 0 kept
+      && Lts.Graph.transitions tr.Mc.Explore.lts
+         = List.filter
+             (fun (i, _, j) -> i < kept && j < kept)
+             (Lts.Graph.transitions full.Mc.Explore.lts)
+      && tr.Mc.Explore.complete = (kept = full_n))
+
+let test_truncation_tree () =
+  let full = Mc.Explore.space (tree 4) in
+  check Alcotest.int "full tree" 31
+    (Lts.Graph.num_states full.Mc.Explore.lts);
+  let tr = Mc.Explore.space ~max_states:12 (tree 4) in
+  check Alcotest.bool "truncated" false tr.Mc.Explore.complete;
+  check Alcotest.int "kept" 12 (Lts.Graph.num_states tr.Mc.Explore.lts);
+  check Alcotest.bool "states are a prefix" true
+    (tr.Mc.Explore.states = Array.sub full.Mc.Explore.states 0 12);
+  check Alcotest.bool "transitions are the induced restriction" true
+    (Lts.Graph.transitions tr.Mc.Explore.lts
+    = List.filter
+        (fun (i, _, j) -> i < 12 && j < 12)
+        (Lts.Graph.transitions full.Mc.Explore.lts))
+
+let test_bound_exact_is_complete () =
+  (* A bound equal to the exact state count is not a truncation. *)
+  let space = Mc.Explore.space ~max_states:10 (counter 10) in
+  check Alcotest.bool "complete at exact bound" true space.Mc.Explore.complete;
+  check Alcotest.(pair int bool) "count at exact bound" (10, true)
+    (Mc.Explore.count ~max_states:10 (counter 10));
+  let below = Mc.Explore.space ~max_states:9 (counter 10) in
+  check Alcotest.bool "truncated one below" false below.Mc.Explore.complete
+
+(* --- find edge cases --- *)
+
+let test_find_bound_boundary () =
+  (* Goal at state 7 of a 10-counter: reachable with bound 8 (the goal is
+     the 8th interned state), Bound_hit with bound 7. *)
+  (match Mc.Explore.find ~max_states:8 ~goal:(fun s -> s = 7) (counter 10) with
+  | Mc.Explore.Reached w ->
+      check Alcotest.int "reached just inside bound" 7
+        (List.length w.Mc.Explore.trace)
+  | _ -> Alcotest.fail "expected Reached with bound 8");
+  match Mc.Explore.find ~max_states:7 ~goal:(fun s -> s = 7) (counter 10) with
+  | Mc.Explore.Bound_hit n -> check Alcotest.int "bound hit" 7 n
+  | _ -> Alcotest.fail "expected Bound_hit with bound 7"
+
+(* A diamond with a shortcut: BFS must take the short edge even though the
+   long path is listed first. *)
+let diamond : (int, string) Mc.System.t =
+  (module struct
+    type state = int
+    type label = string
+
+    let initial = 0
+
+    let successors = function
+      | 0 -> [ ("long", 1); ("short", 3) ]
+      | 1 -> [ ("mid", 2) ]
+      | 2 -> [ ("last", 3) ]
+      | _ -> []
+
+    let equal_state = Int.equal
+    let hash_state = Hashtbl.hash
+    let pp_state = Format.pp_print_int
+    let pp_label = Format.pp_print_string
+  end)
+
+let test_find_diamond_shortest () =
+  match Mc.Explore.find ~goal:(fun s -> s = 3) diamond with
+  | Mc.Explore.Reached w ->
+      check Alcotest.(list string) "takes the shortcut" [ "short" ]
+        w.Mc.Explore.trace
+  | _ -> Alcotest.fail "expected Reached"
+
+(* First-path depth-first search over a successor table, for comparison
+   with the BFS witness. *)
+let dfs_find ~goal (succ : (string * int) array array) =
+  let visited = Hashtbl.create 16 in
+  let rec go s trace =
+    if goal s then Some (List.rev trace)
+    else if Hashtbl.mem visited s then None
+    else begin
+      Hashtbl.add visited s ();
+      Array.fold_left
+        (fun acc (l, t) ->
+          match acc with Some _ -> acc | None -> go t (l :: trace))
+        None succ.(s)
+    end
+  in
+  go 0 []
+
+let prop_bfs_no_longer_than_dfs =
+  QCheck.Test.make ~name:"find witness is no longer than a DFS path"
+    ~count:200
+    QCheck.(pair rand_sys_arb small_nat)
+    (fun (rs, g) ->
+      let goal s = s = g mod rs.n in
+      match (Mc.Explore.find ~goal (table_system rs), dfs_find ~goal rs.succ)
+      with
+      | Mc.Explore.Reached w, Some dfs_trace ->
+          List.length w.Mc.Explore.trace <= List.length dfs_trace
+      | Mc.Explore.Unreachable, None -> true
+      | _ -> false)
+
 (* --- monitors --- *)
 
 let run_monitor (m : string Mc.Monitor.t) word =
@@ -253,6 +413,38 @@ let test_check_unknown () =
   | Mc.Safety.Unknown 3 -> ()
   | _ -> Alcotest.fail "expected Unknown 3"
 
+(* Truncating the product space must surface as Unknown (never Holds) for
+   every checker entry point, including the parallel engine. *)
+let test_check_unknown_monitor () =
+  let m = Mc.Monitor.never (String.equal "boom") in
+  (match Mc.Safety.check_monitor ~max_states:3 (counter 10) m with
+  | Mc.Safety.Unknown 3 -> ()
+  | _ -> Alcotest.fail "expected Unknown 3 from check_monitor");
+  match Mc.Safety.check_monitor ~max_states:3 ~domains:2 (counter 10) m with
+  | Mc.Safety.Unknown 3 -> ()
+  | _ -> Alcotest.fail "expected Unknown 3 from parallel check_monitor"
+
+let test_check_unknown_forbidden () =
+  (* The violation needs three steps; a two-state product bound cannot
+     decide it. *)
+  let r =
+    Mc.Regex.(
+      seq (star any)
+        (seq_list
+           [
+             atom "inc" (String.equal "inc");
+             atom "inc" (String.equal "inc");
+             atom "reset" (String.equal "reset");
+           ]))
+  in
+  (match Mc.Safety.check_forbidden ~max_states:2 (counter 3) r with
+  | Mc.Safety.Unknown 2 -> ()
+  | _ -> Alcotest.fail "expected Unknown 2 from check_forbidden");
+  (* A sufficient bound restores the definite verdict. *)
+  match Mc.Safety.check_forbidden ~max_states:100 (counter 3) r with
+  | Mc.Safety.Violated trace -> check Alcotest.int "len" 3 (List.length trace)
+  | _ -> Alcotest.fail "expected Violated under a sufficient bound"
+
 let test_holds_helper () =
   check Alcotest.bool "holds" true (Mc.Safety.holds Mc.Safety.Holds);
   check Alcotest.bool "violated" false (Mc.Safety.holds (Mc.Safety.Violated []));
@@ -268,6 +460,16 @@ let tests =
       Alcotest.test_case "find unreachable" `Quick test_find_unreachable;
       Alcotest.test_case "find initial state" `Quick test_find_initial;
       Alcotest.test_case "find bound hit" `Quick test_find_bound;
+      QCheck_alcotest.to_alcotest prop_truncation_prefix;
+      Alcotest.test_case "truncation contract on a tree" `Quick
+        test_truncation_tree;
+      Alcotest.test_case "exact bound is complete" `Quick
+        test_bound_exact_is_complete;
+      Alcotest.test_case "find at the bound boundary" `Quick
+        test_find_bound_boundary;
+      Alcotest.test_case "find takes the diamond shortcut" `Quick
+        test_find_diamond_shortest;
+      QCheck_alcotest.to_alcotest prop_bfs_no_longer_than_dfs;
       Alcotest.test_case "monitor never" `Quick test_monitor_never;
       Alcotest.test_case "monitor always" `Quick test_monitor_always;
       Alcotest.test_case "monitor precedence" `Quick test_monitor_precedence;
@@ -283,6 +485,10 @@ let tests =
       Alcotest.test_case "check_forbidden" `Quick test_check_forbidden;
       Alcotest.test_case "check_state" `Quick test_check_state;
       Alcotest.test_case "check unknown on bound" `Quick test_check_unknown;
+      Alcotest.test_case "check_monitor unknown on bound" `Quick
+        test_check_unknown_monitor;
+      Alcotest.test_case "check_forbidden unknown on bound" `Quick
+        test_check_unknown_forbidden;
       Alcotest.test_case "holds helper" `Quick test_holds_helper;
     ] )
 
