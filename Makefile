@@ -1,6 +1,6 @@
 DUNE ?= dune
 
-.PHONY: all build test bench bench-parallel clean fmt
+.PHONY: all build test bench bench-parallel faults clean fmt
 
 all: build
 
@@ -14,6 +14,13 @@ test:
 # report, then the bechamel micro-benchmarks.
 bench:
 	$(DUNE) exec bench/main.exe
+
+# Deterministic fault-injection campaign gate: the fixed variants must
+# survive the default adversary with zero violations, the unfixed ones
+# must be refuted (with a shrunk minimal schedule) at a table F point,
+# and the JSON report must reproduce byte-identically.
+faults:
+	$(DUNE) exec bin/hbfault.exe -- smoke
 
 # Just the sequential-vs-parallel exploration comparison.
 bench-parallel:

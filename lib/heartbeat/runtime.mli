@@ -26,7 +26,8 @@ type kind =
 val kind_name : kind -> string
 
 type crash = { who : int; at : float }
-(** Crash participant [who] (0 for the coordinator) at time [at]. *)
+(** Crash participant [who] (0 for the coordinator) at time [at] — the
+    legacy single scripted crash; use [faults] for anything richer. *)
 
 type config = {
   params : Params.t;
@@ -36,6 +37,10 @@ type config = {
       (** overrides [loss] when given (e.g. bursty Gilbert–Elliott) *)
   duration : float;  (** simulated time horizon *)
   crash : crash option;
+  faults : Sim.Fault.schedule;
+      (** declarative fault schedule: multiple crashes (coordinator
+          included), crash-then-recover, partitions, burst loss,
+          duplication, reordering, delay jitter *)
   fixed_bounds : bool;
       (** use the corrected (§6.2) participant bounds instead of
           [3*tmax - tmin] *)
@@ -47,15 +52,20 @@ val config :
   ?loss:float ->
   ?loss_model:Sim.Loss.t ->
   ?crash:crash ->
+  ?faults:Sim.Fault.schedule ->
   ?fixed_bounds:bool ->
   ?seed:int64 ->
   duration:float ->
   Params.t ->
   config
+(** @raise Invalid_argument on a bad [kind] or an invalid fault
+    schedule. *)
 
 type result = {
   messages_sent : int;  (** heartbeats handed to the network, both ways *)
-  messages_lost : int;
+  messages_lost : int;  (** stochastic channel loss (model or burst) *)
+  messages_dropped : int;
+      (** partition / down-link drops, counted separately from loss *)
   p0_detected_at : float option;
       (** when p[0] concluded a failure (accelerated: self-inactivated;
           fixed-rate: declared a participant dead) *)
@@ -63,11 +73,17 @@ type result = {
       (** non-voluntary participant inactivations *)
   false_detection : bool;
       (** [p0_detected_at] fired although nothing had crashed *)
+  fault_log : (float * Sim.Fault.action) list;
+      (** every injected fault event with its firing timestamp, in
+          order (includes the legacy [crash]) *)
 }
 
-val run : config -> result
-(** Run one simulation.  Deterministic for a given [seed]. *)
+val run : ?on_event:(Monitors.event -> unit) -> config -> result
+(** Run one simulation.  Deterministic for a given [seed]; [on_event]
+    receives the full protocol/channel trace in time order (sends,
+    deliveries, drops, crashes, recoveries, detection, inactivations) —
+    attach {!Monitors.feed} to check requirements online. *)
 
 val detection_delay : config -> result -> float option
-(** Time from the configured crash to p[0]'s detection, when both
-    happened. *)
+(** Time from the earliest configured or scheduled crash to p[0]'s
+    detection, when both happened. *)

@@ -36,6 +36,10 @@ let schedule t ~delay action =
 let cancel ev = ev.cancelled <- true
 
 let run ?(until = infinity) ?(max_events = max_int) t =
+  (* [max_events] bounds this invocation, not the engine's lifetime:
+     [executed] keeps accumulating across calls, so the budget is
+     measured against its value on entry. *)
+  let start = t.executed in
   let continue = ref true in
   while !continue do
     match Heap.pop t.queue with
@@ -48,7 +52,7 @@ let run ?(until = infinity) ?(max_events = max_int) t =
             t.clock <- time;
             t.executed <- t.executed + 1;
             ev.action ();
-            if t.executed >= max_events then continue := false
+            if t.executed - start >= max_events then continue := false
           end
         end
   done

@@ -29,8 +29,10 @@ val cancel : timer -> unit
 
 val run : ?until:float -> ?max_events:int -> t -> unit
 (** Execute events in time order until the queue drains, simulated time
-    would exceed [until], or [max_events] events have run.  Events at the
-    simulation horizon [until] itself still execute. *)
+    would exceed [until], or [max_events] events have run {e during this
+    call} (the budget is per invocation, so successive [run]s each get a
+    fresh allowance).  Events at the simulation horizon [until] itself
+    still execute. *)
 
 val events_executed : t -> int
 (** Number of events executed so far (cancelled timers excluded). *)

@@ -1,0 +1,177 @@
+type action =
+  | Crash of int
+  | Recover of int
+  | Partition of { isolated : int list; duration : float; drop_inflight : bool }
+  | Burst of { duration : float; loss : float }
+  | Duplicate of { duration : float; prob : float }
+  | Reorder of { duration : float; prob : float }
+  | Jitter of { duration : float; extra : float }
+
+type event = { at : float; action : action }
+type schedule = event list
+
+let bad fmt = Format.kasprintf invalid_arg ("Sim.Fault: " ^^ fmt)
+
+let validate_action = function
+  | Crash _ | Recover _ -> ()
+  | Partition { isolated; duration; _ } ->
+      if isolated = [] then bad "empty partition";
+      if duration <= 0.0 then bad "partition duration must be positive"
+  | Burst { duration; loss } ->
+      if duration <= 0.0 then bad "burst duration must be positive";
+      if loss < 0.0 || loss > 1.0 then bad "burst loss outside [0,1]"
+  | Duplicate { duration; prob } | Reorder { duration; prob } ->
+      if duration <= 0.0 then bad "window duration must be positive";
+      if prob < 0.0 || prob > 1.0 then bad "probability outside [0,1]"
+  | Jitter { duration; extra } ->
+      if duration <= 0.0 then bad "jitter duration must be positive";
+      if extra < 0.0 then bad "negative jitter"
+
+let validate schedule =
+  List.iter
+    (fun { at; action } ->
+      if at < 0.0 then bad "negative event time";
+      validate_action action)
+    schedule
+
+let crash ~at who = { at; action = Crash who }
+let recover ~at who = { at; action = Recover who }
+
+let partition ~at ?(drop_inflight = false) ~duration isolated =
+  { at; action = Partition { isolated; duration; drop_inflight } }
+
+let burst ~at ~duration loss = { at; action = Burst { duration; loss } }
+let duplicate ~at ~duration prob = { at; action = Duplicate { duration; prob } }
+let reorder ~at ~duration prob = { at; action = Reorder { duration; prob } }
+let jitter ~at ~duration extra = { at; action = Jitter { duration; extra } }
+
+let nodes_of_action = function
+  | Crash who | Recover who -> [ who ]
+  | Partition { isolated; _ } -> isolated
+  | Burst _ | Duplicate _ | Reorder _ | Jitter _ -> []
+
+let apply engine ~nodes ~link ~on_crash ~on_recover ?on_apply schedule =
+  validate schedule;
+  List.iter
+    (fun { at = _; action } ->
+      List.iter
+        (fun who ->
+          if not (List.mem who nodes) then bad "unknown node %d" who)
+        (nodes_of_action action))
+    schedule;
+  let each_link f =
+    List.iter
+      (fun src ->
+        List.iter
+          (fun dst ->
+            if src <> dst then Option.iter f (link ~src ~dst))
+          nodes)
+      nodes
+  in
+  let cut_links isolated f =
+    List.iter
+      (fun a ->
+        List.iter
+          (fun b ->
+            if not (List.mem b isolated) then begin
+              Option.iter f (link ~src:a ~dst:b);
+              Option.iter f (link ~src:b ~dst:a)
+            end)
+          nodes)
+      isolated
+  in
+  let window ~at ~duration set reset =
+    ignore (Engine.at engine ~time:at (fun () -> each_link set));
+    ignore (Engine.at engine ~time:(at +. duration) (fun () -> each_link reset))
+  in
+  List.iter
+    (fun { at; action } ->
+      (match on_apply with
+      | Some f -> ignore (Engine.at engine ~time:at (fun () -> f at action))
+      | None -> ());
+      match action with
+      | Crash who -> ignore (Engine.at engine ~time:at (fun () -> on_crash who))
+      | Recover who ->
+          ignore (Engine.at engine ~time:at (fun () -> on_recover who))
+      | Partition { isolated; duration; drop_inflight } ->
+          ignore
+            (Engine.at engine ~time:at (fun () ->
+                 cut_links isolated (fun c ->
+                     Net.ctl_set_up c ~drop_inflight false)));
+          ignore
+            (Engine.at engine ~time:(at +. duration) (fun () ->
+                 cut_links isolated (fun c ->
+                     Net.ctl_set_up c ~drop_inflight:false true)))
+      | Burst { duration; loss } ->
+          window ~at ~duration
+            (fun c -> Net.ctl_burst c (Some loss))
+            (fun c -> Net.ctl_burst c None)
+      | Duplicate { duration; prob } ->
+          window ~at ~duration
+            (fun c -> Net.ctl_duplicate c prob)
+            (fun c -> Net.ctl_duplicate c 0.0)
+      | Reorder { duration; prob } ->
+          window ~at ~duration
+            (fun c -> Net.ctl_reorder c prob)
+            (fun c -> Net.ctl_reorder c 0.0)
+      | Jitter { duration; extra } ->
+          window ~at ~duration
+            (fun c -> Net.ctl_jitter c extra)
+            (fun c -> Net.ctl_jitter c 0.0))
+    schedule
+
+(* Deterministic float rendering shared by pp and JSON: shortest decimal
+   form that round-trips would vary in style, so fix on %.12g. *)
+let fstr x = Printf.sprintf "%.12g" x
+
+let pp_action ppf = function
+  | Crash who -> Format.fprintf ppf "crash p[%d]" who
+  | Recover who -> Format.fprintf ppf "recover p[%d]" who
+  | Partition { isolated; duration; drop_inflight } ->
+      Format.fprintf ppf "partition {%s} for %s%s"
+        (String.concat "," (List.map string_of_int isolated))
+        (fstr duration)
+        (if drop_inflight then " (drop in-flight)" else "")
+  | Burst { duration; loss } ->
+      Format.fprintf ppf "burst loss %s for %s" (fstr loss) (fstr duration)
+  | Duplicate { duration; prob } ->
+      Format.fprintf ppf "duplicate p=%s for %s" (fstr prob) (fstr duration)
+  | Reorder { duration; prob } ->
+      Format.fprintf ppf "reorder p=%s for %s" (fstr prob) (fstr duration)
+  | Jitter { duration; extra } ->
+      Format.fprintf ppf "jitter +%s for %s" (fstr extra) (fstr duration)
+
+let pp_event ppf { at; action } =
+  Format.fprintf ppf "t=%-6s %a" (fstr at) pp_action action
+
+let pp ppf schedule =
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun e -> Format.fprintf ppf "%a@," pp_event e) schedule;
+  Format.fprintf ppf "@]"
+
+let action_to_json = function
+  | Crash who -> Printf.sprintf {|{"type":"crash","node":%d}|} who
+  | Recover who -> Printf.sprintf {|{"type":"recover","node":%d}|} who
+  | Partition { isolated; duration; drop_inflight } ->
+      Printf.sprintf
+        {|{"type":"partition","isolated":[%s],"duration":%s,"drop_inflight":%b}|}
+        (String.concat "," (List.map string_of_int isolated))
+        (fstr duration) drop_inflight
+  | Burst { duration; loss } ->
+      Printf.sprintf {|{"type":"burst","duration":%s,"loss":%s}|}
+        (fstr duration) (fstr loss)
+  | Duplicate { duration; prob } ->
+      Printf.sprintf {|{"type":"duplicate","duration":%s,"prob":%s}|}
+        (fstr duration) (fstr prob)
+  | Reorder { duration; prob } ->
+      Printf.sprintf {|{"type":"reorder","duration":%s,"prob":%s}|}
+        (fstr duration) (fstr prob)
+  | Jitter { duration; extra } ->
+      Printf.sprintf {|{"type":"jitter","duration":%s,"extra":%s}|}
+        (fstr duration) (fstr extra)
+
+let event_to_json { at; action } =
+  Printf.sprintf {|{"at":%s,"action":%s}|} (fstr at) (action_to_json action)
+
+let to_json schedule =
+  "[" ^ String.concat "," (List.map event_to_json schedule) ^ "]"

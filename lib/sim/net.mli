@@ -3,14 +3,30 @@
     Matches the paper's channel assumptions: a message is either lost or
     delivered within a bounded delay; the bound [tmin] of the protocols is
     an upper bound on the *round-trip* delay, so each direction of a link
-    is given half the budget by the callers. *)
+    is given half the budget by the callers.
+
+    Beyond the stochastic loss model, a link exposes fault-injection
+    knobs ({!set_up}, {!set_burst}, {!set_duplicate}, {!set_reorder},
+    {!set_jitter}) that deliberately break those assumptions — the
+    adversarial schedules under which the paper's requirements fail.
+    Two kinds of non-delivery are accounted separately: {!lost} counts
+    stochastic channel loss (the loss model, or a burst window), while
+    {!dropped} counts messages swallowed by a down link or flushed while
+    in flight, so reliability experiments do not over-count channel loss
+    during partitions. *)
 
 type 'a t
+
+type drop_kind =
+  | Stochastic  (** loss model or burst window — counted by {!lost} *)
+  | Down  (** down link or in-flight flush — counted by {!dropped} *)
 
 val create :
   Engine.t ->
   ?loss:float ->
   ?model:Loss.t ->
+  ?on_drop:(drop_kind -> 'a -> unit) ->
+  ?on_late:('a -> unit) ->
   delay_lo:float ->
   delay_hi:float ->
   deliver:('a -> unit) ->
@@ -20,22 +36,85 @@ val create :
     unidirectional link.  Each sent message is dropped according to the
     loss model — [model] if given, otherwise Bernoulli with probability
     [loss] (default 0) — and otherwise delivered after a uniform random
-    delay in [\[delay_lo, delay_hi\]].
+    delay in [\[delay_lo, delay_hi\]].  [on_drop] is called (with the
+    kind) whenever a message is lost or dropped; [on_late] is called
+    just before delivering a message whose drawn delay exceeded
+    [delay_hi] — possible only under {!set_reorder} / {!set_jitter},
+    i.e. when the channel's delay assumption was deliberately broken.
     @raise Invalid_argument on a negative delay, [delay_hi < delay_lo], or
     an invalid loss model. *)
 
 val send : 'a t -> 'a -> unit
 
 val up : 'a t -> bool
-val set_up : 'a t -> bool -> unit
-(** Taking a link down silently drops everything sent afterwards (messages
-    already in flight still arrive) — used to model channel crashes. *)
+
+val set_up : ?drop_inflight:bool -> 'a t -> bool -> unit
+(** Taking a link down silently drops everything sent afterwards; with
+    [~drop_inflight:true] messages already in flight are flushed too
+    (both are counted by {!dropped}, not {!lost}).  By default in-flight
+    messages still arrive — the paper's channel-crash model. *)
+
+val flush_in_flight : 'a t -> unit
+(** Discard every message currently in flight (counted by {!dropped}
+    when its delivery would have fired).  Delivery of later sends is
+    unaffected. *)
+
+val set_burst : 'a t -> float option -> unit
+(** [set_burst t (Some p)] opens a burst-loss window: until the next
+    [set_burst t None], each sent message is dropped with probability [p]
+    {e instead of} consulting the loss model (the model's channel state
+    is left untouched).  Burst drops count as {!lost}.
+    @raise Invalid_argument if [p] is outside [\[0,1\]]. *)
+
+val set_duplicate : 'a t -> float -> unit
+(** Probability that a delivered message is delivered twice, the copy
+    with an independently drawn delay (default 0).
+    @raise Invalid_argument outside [\[0,1\]]. *)
+
+val set_reorder : 'a t -> float -> unit
+(** Probability that a message is held back past the nominal delay
+    window — its delay is drawn from [\[delay_hi, 2*delay_hi\]] — so
+    later sends can overtake it (default 0).
+    @raise Invalid_argument outside [\[0,1\]]. *)
+
+val set_jitter : 'a t -> float -> unit
+(** Extra delay jitter: each delivery gets an additional uniform delay in
+    [\[0, jitter\]] on top of its drawn delay (default 0).  Deliberately
+    violates the [delay_hi] bound — an adversarial fault.
+    @raise Invalid_argument on a negative bound. *)
 
 val sent : 'a t -> int
 (** Messages handed to the link. *)
 
 val delivered : 'a t -> int
-(** Messages actually delivered so far. *)
+(** Messages actually delivered so far (duplicate copies included). *)
 
 val lost : 'a t -> int
-(** Messages dropped (by loss or a down link). *)
+(** Messages dropped stochastically — by the loss model or a burst
+    window.  Down-link drops are {e not} counted here; see {!dropped}. *)
+
+val dropped : 'a t -> int
+(** Messages swallowed because the link was down, or flushed in flight
+    by {!flush_in_flight} / [set_up ~drop_inflight:true].  A flushed
+    message is counted when its delivery would have fired. *)
+
+val duplicates : 'a t -> int
+(** Extra copies injected by {!set_duplicate}. *)
+
+val late : 'a t -> int
+(** Deliveries whose delay exceeded the nominal [delay_hi] bound (due to
+    reordering or jitter). *)
+
+(** {2 Fault-control handles}
+
+    A type-erased view of the fault knobs, so a fault injector can steer
+    links of any message type (see {!Fault}). *)
+
+type ctl
+
+val ctl : 'a t -> ctl
+val ctl_set_up : ctl -> drop_inflight:bool -> bool -> unit
+val ctl_burst : ctl -> float option -> unit
+val ctl_duplicate : ctl -> float -> unit
+val ctl_reorder : ctl -> float -> unit
+val ctl_jitter : ctl -> float -> unit

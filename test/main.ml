@@ -12,5 +12,6 @@ let () =
       Test_heartbeat.tests;
       Test_export.tests;
       Test_runtime.tests;
+      Test_fault.tests;
       Test_fd.tests;
     ]

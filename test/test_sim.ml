@@ -123,7 +123,36 @@ let test_loss_expected () =
     (Sim.Loss.expected_loss (Sim.Loss.bernoulli 0.2));
   (* pi_bad = 0.01 / 0.2 = 0.05, loss = 0.05 * 1.0 *)
   check (Alcotest.float 1e-9) "gilbert" 0.05
-    (Sim.Loss.expected_loss (Sim.Loss.gilbert ~p_gb:0.01 ~p_bg:0.19 ()))
+    (Sim.Loss.expected_loss (Sim.Loss.gilbert ~p_gb:0.01 ~p_bg:0.19 ()));
+  (* Degenerate chain (no transitions ever): the channel stays in Good,
+     so the stationary loss is exactly [loss_good]. *)
+  check (Alcotest.float 1e-9) "frozen chain" 0.3
+    (Sim.Loss.expected_loss
+       (Sim.Loss.gilbert ~loss_good:0.3 ~loss_bad:0.9 ~p_gb:0.0 ~p_bg:0.0 ()))
+
+(* Gilbert stationary loss vs a long empirical run.  The tolerance
+   allows for burst correlation inflating the variance: with transition
+   probabilities bounded away from 0 the correlation time is at most a
+   few tens of messages, so 0.05 is ~7 sigma at 50k draws. *)
+let prop_loss_expected_matches_empirical =
+  QCheck.Test.make ~name:"gilbert expected_loss matches empirical rate"
+    ~count:10
+    QCheck.(
+      quad (float_range 0.1 0.9) (float_range 0.1 0.9) (float_range 0.0 1.0)
+        (float_range 0.0 1.0))
+    (fun (p_gb, p_bg, loss_good, loss_bad) ->
+      let model =
+        Sim.Loss.gilbert ~loss_good ~loss_bad ~p_gb ~p_bg ()
+      in
+      let rng = Sim.Rng.create 0xA5EDL in
+      let st = Sim.Loss.start model in
+      let n = 50_000 in
+      let dropped = ref 0 in
+      for _ = 1 to n do
+        if Sim.Loss.drops model st rng then incr dropped
+      done;
+      let empirical = float_of_int !dropped /. float_of_int n in
+      Float.abs (empirical -. Sim.Loss.expected_loss model) < 0.05)
 
 let test_loss_empirical_rate () =
   let rng = Sim.Rng.create 77L in
@@ -277,8 +306,142 @@ let test_net_down () =
   Sim.Net.set_up link false;
   Sim.Net.send link ();
   Sim.Engine.run e;
-  check Alcotest.int "dropped" 1 (Sim.Net.lost link);
+  (* Down-link drops are accounted separately from stochastic loss. *)
+  check Alcotest.int "dropped" 1 (Sim.Net.dropped link);
+  check Alcotest.int "not counted as loss" 0 (Sim.Net.lost link);
   check Alcotest.int "nothing delivered" 0 !delivered
+
+let test_net_partition_vs_loss_accounting () =
+  let e = Sim.Engine.create ~seed:11L () in
+  let link =
+    Sim.Net.create e ~loss:0.5 ~delay_lo:0.0 ~delay_hi:0.1 ~deliver:ignore ()
+  in
+  for _ = 1 to 200 do
+    Sim.Net.send link ()
+  done;
+  Sim.Net.set_up link false;
+  for _ = 1 to 100 do
+    Sim.Net.send link ()
+  done;
+  Sim.Engine.run e;
+  check Alcotest.int "down sends all dropped" 100 (Sim.Net.dropped link);
+  check Alcotest.int "loss only from the up phase" 200
+    (Sim.Net.delivered link + Sim.Net.lost link);
+  let rate = float_of_int (Sim.Net.lost link) /. 200.0 in
+  check Alcotest.bool "loss rate unpolluted by the partition" true
+    (rate > 0.38 && rate < 0.62)
+
+let test_net_flush_inflight () =
+  let e = Sim.Engine.create ~seed:3L () in
+  let delivered = ref 0 in
+  let drops = ref [] in
+  let link =
+    Sim.Net.create e
+      ~on_drop:(fun kind () -> drops := kind :: !drops)
+      ~delay_lo:1.0 ~delay_hi:1.0
+      ~deliver:(fun () -> incr delivered)
+      ()
+  in
+  Sim.Net.send link ();
+  Sim.Net.send link ();
+  Sim.Net.flush_in_flight link;
+  Sim.Net.send link ();
+  Sim.Engine.run e;
+  check Alcotest.int "flushed" 2 (Sim.Net.dropped link);
+  check Alcotest.int "later send unaffected" 1 !delivered;
+  check Alcotest.bool "flushes reported as Down drops" true
+    (!drops = [ Sim.Net.Down; Sim.Net.Down ])
+
+let test_net_duplicate () =
+  let e = Sim.Engine.create ~seed:5L () in
+  let delivered = ref 0 in
+  let link =
+    Sim.Net.create e ~delay_lo:0.0 ~delay_hi:1.0
+      ~deliver:(fun () -> incr delivered)
+      ()
+  in
+  Sim.Net.set_duplicate link 1.0;
+  for _ = 1 to 50 do
+    Sim.Net.send link ()
+  done;
+  Sim.Engine.run e;
+  check Alcotest.int "every message doubled" 100 !delivered;
+  check Alcotest.int "duplicates counted" 50 (Sim.Net.duplicates link);
+  check Alcotest.int "delivered counts copies" 100 (Sim.Net.delivered link)
+
+let test_net_burst_window () =
+  let e = Sim.Engine.create ~seed:6L () in
+  let link =
+    Sim.Net.create e ~delay_lo:0.0 ~delay_hi:0.1 ~deliver:ignore ()
+  in
+  Sim.Net.set_burst link (Some 1.0);
+  for _ = 1 to 30 do
+    Sim.Net.send link ()
+  done;
+  Sim.Net.set_burst link None;
+  for _ = 1 to 30 do
+    Sim.Net.send link ()
+  done;
+  Sim.Engine.run e;
+  check Alcotest.int "burst swallows everything, as loss" 30
+    (Sim.Net.lost link);
+  check Alcotest.int "after the window the link is clean" 30
+    (Sim.Net.delivered link)
+
+let test_net_jitter_is_late () =
+  let e = Sim.Engine.create ~seed:7L () in
+  let late_cb = ref 0 in
+  let last_delivery = ref 0.0 in
+  let link =
+    Sim.Net.create e
+      ~on_late:(fun () -> incr late_cb)
+      ~delay_lo:1.0 ~delay_hi:1.0
+      ~deliver:(fun () -> last_delivery := Sim.Engine.now e)
+      ()
+  in
+  Sim.Net.set_jitter link 1.0;
+  Sim.Net.send link ();
+  Sim.Engine.run e;
+  check Alcotest.int "late delivery flagged" 1 (Sim.Net.late link);
+  check Alcotest.int "on_late called" 1 !late_cb;
+  check Alcotest.bool "delay beyond the nominal bound" true
+    (!last_delivery > 1.0 && !last_delivery <= 2.0)
+
+let test_net_reorder_overtakes () =
+  let e = Sim.Engine.create ~seed:9L () in
+  let order = ref [] in
+  let link =
+    Sim.Net.create e ~delay_lo:0.4 ~delay_hi:0.5
+      ~deliver:(fun i -> order := i :: !order)
+      ()
+  in
+  (* First message held back past the window, second sent normally just
+     after: the second must overtake the first. *)
+  Sim.Net.set_reorder link 1.0;
+  Sim.Net.send link 1;
+  Sim.Net.set_reorder link 0.0;
+  ignore
+    (Sim.Engine.schedule e ~delay:0.01 (fun () -> Sim.Net.send link 2));
+  Sim.Engine.run e;
+  check Alcotest.(list int) "second overtakes first" [ 1; 2 ] !order;
+  check Alcotest.int "held message counted late" 1 (Sim.Net.late link)
+
+let test_engine_max_events_budget () =
+  let e = Sim.Engine.create () in
+  for i = 1 to 5 do
+    ignore (Sim.Engine.schedule e ~delay:(float_of_int i) ignore)
+  done;
+  Sim.Engine.run ~max_events:2 e;
+  check Alcotest.int "first call stops at its budget" 2
+    (Sim.Engine.events_executed e);
+  (* The budget must be per invocation: a second call with the same
+     budget makes progress instead of stopping immediately against the
+     global counter. *)
+  Sim.Engine.run ~max_events:2 e;
+  check Alcotest.int "second call gets a fresh budget" 4
+    (Sim.Engine.events_executed e);
+  Sim.Engine.run e;
+  check Alcotest.int "drained" 5 (Sim.Engine.events_executed e)
 
 let test_net_bad_args () =
   let e = Sim.Engine.create () in
@@ -307,6 +470,7 @@ let tests =
       Alcotest.test_case "histogram" `Quick test_histogram;
       Alcotest.test_case "loss model validation" `Quick test_loss_validate;
       Alcotest.test_case "loss expected rate" `Quick test_loss_expected;
+      QCheck_alcotest.to_alcotest prop_loss_expected_matches_empirical;
       Alcotest.test_case "loss empirical rate" `Quick test_loss_empirical_rate;
       Alcotest.test_case "gilbert losses are bursty" `Quick test_loss_burstiness;
       Alcotest.test_case "engine executes in time order" `Quick test_engine_ordering;
@@ -315,9 +479,20 @@ let tests =
       Alcotest.test_case "engine nested scheduling" `Quick
         test_engine_nested_scheduling;
       Alcotest.test_case "engine argument errors" `Quick test_engine_errors;
+      Alcotest.test_case "engine max_events budget is per invocation" `Quick
+        test_engine_max_events_budget;
       Alcotest.test_case "net delivers within window" `Quick
         test_net_delivers_in_window;
       Alcotest.test_case "net loss accounting" `Quick test_net_loss_accounting;
       Alcotest.test_case "net down drops silently" `Quick test_net_down;
+      Alcotest.test_case "net partition drops are not loss" `Quick
+        test_net_partition_vs_loss_accounting;
+      Alcotest.test_case "net in-flight flush" `Quick test_net_flush_inflight;
+      Alcotest.test_case "net duplication" `Quick test_net_duplicate;
+      Alcotest.test_case "net burst-loss window" `Quick test_net_burst_window;
+      Alcotest.test_case "net jitter flags late delivery" `Quick
+        test_net_jitter_is_late;
+      Alcotest.test_case "net reordering overtakes" `Quick
+        test_net_reorder_overtakes;
       Alcotest.test_case "net argument errors" `Quick test_net_bad_args;
     ] )
