@@ -1,6 +1,6 @@
 DUNE ?= dune
 
-.PHONY: all build test bench bench-parallel faults clean fmt
+.PHONY: all build test bench bench-parallel faults lint clean fmt
 
 all: build
 
@@ -21,6 +21,15 @@ bench:
 # and the JSON report must reproduce byte-identically.
 faults:
 	$(DUNE) exec bin/hbfault.exe -- smoke
+
+# Static-analysis gate: every shipped model must lint clean under
+# --strict (warnings gate too; infos do not), and the JSON report must
+# reproduce byte-identically across two runs.
+lint:
+	$(DUNE) exec bin/hblint.exe -- --strict
+	$(DUNE) exec bin/hblint.exe -- --json > _build/hblint-1.json
+	$(DUNE) exec bin/hblint.exe -- --json > _build/hblint-2.json
+	cmp _build/hblint-1.json _build/hblint-2.json
 
 # Just the sequential-vs-parallel exploration comparison.
 bench-parallel:

@@ -82,12 +82,23 @@ let monitors variant (p : Params.t) req :
           ~bad:(name_in [ Pa_models.act_inactivate_nv_p0 ]);
       ]
 
+(* The lint pass's static state bound, as an [expected_states] table
+   pre-sizing hint for the explorer. *)
+let expected_of spec =
+  match Lint.Pa.static_bound spec with
+  | Lint.Interval.Finite n -> Some n
+  | Lint.Interval.Unbounded -> None
+
 let check ?(max_states = default_max) ?(domains = 1) variant params req =
   let spec = Pa_models.build variant params in
   let sys = Proc.Semantics.system spec in
+  let expected_states = expected_of spec in
   List.for_all
     (fun monitor ->
-      match Mc.Safety.check_monitor ~max_states ~domains sys monitor with
+      match
+        Mc.Safety.check_monitor ~max_states ?expected_states ~domains sys
+          monitor
+      with
       | Mc.Safety.Holds -> true
       | Mc.Safety.Violated _ -> false
       | Mc.Safety.Unknown n ->
@@ -99,10 +110,11 @@ let check ?(max_states = default_max) ?(domains = 1) variant params req =
 
 let state_count ?(max_states = default_max) ?(domains = 1) variant params =
   let spec = Pa_models.build variant params in
+  let expected_states = expected_of spec in
   let count, complete =
     let sys = Proc.Semantics.system spec in
-    if domains <= 1 then Mc.Explore.count ~max_states sys
-    else Mc.Pexplore.count ~max_states ~domains sys
+    if domains <= 1 then Mc.Explore.count ~max_states ?expected_states sys
+    else Mc.Pexplore.count ~max_states ?expected_states ~domains sys
   in
   if not complete then failwith "Pa_verify.state_count: state bound exceeded";
   count

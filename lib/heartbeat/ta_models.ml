@@ -32,7 +32,6 @@ let rcvd i = Printf.sprintf "rcvd%d" i
 let tm i = Printf.sprintf "tm%d" i
 let jnd i = Printf.sprintf "jnd%d" i
 let gone i = Printf.sprintf "gone%d" i
-let leave i = Printf.sprintf "leave%d" i
 let spent i = Printf.sprintf "spent%d" i
 let pbusy i = Printf.sprintf "pbusy%d" i
 let in0 i = Printf.sprintf "in0_%d" i
@@ -306,9 +305,12 @@ let pi_automaton variant ~fixed (p : Params.t) i =
     @
     if variant = Dynamic then
       [
+        (* Departure is tracked by the Left location itself; a separate
+           leave_i flag would be a write-only config cell (hblint
+           TA-VAR-WRITE-ONLY). *)
         M.edge ~src:"Rcvd" ~dst:"Left" ~sync:(M.Send (snd1 i))
           ~act:(Printf.sprintf "leave%d" i)
-          ~updates:[ assign (out1 i) (num 0); set1 (leave i); set0 (pbusy i) ]
+          ~updates:[ assign (out1 i) (num 0); set0 (pbusy i) ]
           ();
         dead_recv "Left";
       ]
@@ -528,7 +530,7 @@ let build ?(fixed = false) ?(with_r1_monitors = false) ?r1_bound:r1_override
           @
           if variant = Dynamic then
             [
-              M.scalar (leave i) 0; M.scalar (gone i) 0;
+              M.scalar (gone i) 0;
               M.scalar (msg1 i) 1; M.scalar (out1 i) 1;
             ]
           else [])

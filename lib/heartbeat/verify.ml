@@ -6,6 +6,14 @@ type outcome = {
 
 let default_max = 5_000_000
 
+(* The lint pass's static state bound, as an [expected_states] table
+   pre-sizing hint for the explorer.  [None] (bound saturated or model
+   truly unbounded) falls back to the engine's default growth. *)
+let expected_of model =
+  match Lint.Ta_model.static_bound model with
+  | Lint.Interval.Finite n -> Some n
+  | Lint.Interval.Unbounded -> None
+
 let check ?(fixed = false) ?(max_states = default_max) ?(domains = 1) variant
     params req =
   let with_r1_monitors = Requirements.needs_monitors req in
@@ -13,7 +21,8 @@ let check ?(fixed = false) ?(max_states = default_max) ?(domains = 1) variant
   let net = Ta.Semantics.compile model in
   let bad = Requirements.bad_state variant params net req in
   match
-    Mc.Safety.check_state ~max_states ~domains (Ta.Semantics.system net) bad
+    Mc.Safety.check_state ~max_states ?expected_states:(expected_of model)
+      ~domains (Ta.Semantics.system net) bad
   with
   | Mc.Safety.Holds ->
       { holds = true; counterexample = None; states_explored = None }
@@ -34,7 +43,8 @@ let r1_holds_with_bound ~fixed ~max_states ~domains variant params bound =
   let net = Ta.Semantics.compile model in
   let bad = Requirements.bad_state variant params net Requirements.R1 in
   match
-    Mc.Safety.check_state ~max_states ~domains (Ta.Semantics.system net) bad
+    Mc.Safety.check_state ~max_states ?expected_states:(expected_of model)
+      ~domains (Ta.Semantics.system net) bad
   with
   | Mc.Safety.Holds -> true
   | Mc.Safety.Violated _ -> false
@@ -100,9 +110,10 @@ let deadlock_free ?(fixed = false) ?(max_states = default_max) ?(domains = 1)
   let net = Ta.Semantics.compile model in
   let sys = Ta.Semantics.system net in
   let goal c = Ta.Semantics.successors net c = [] in
+  let expected_states = expected_of model in
   match
-    if domains <= 1 then Mc.Explore.find ~max_states ~goal sys
-    else Mc.Pexplore.find ~max_states ~domains ~goal sys
+    if domains <= 1 then Mc.Explore.find ~max_states ?expected_states ~goal sys
+    else Mc.Pexplore.find ~max_states ?expected_states ~domains ~goal sys
   with
   | Mc.Explore.Unreachable -> true
   | Mc.Explore.Reached _ -> false

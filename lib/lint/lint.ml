@@ -1,0 +1,11 @@
+(* Namespaced entry point for the (unwrapped) lint library.
+
+   The library is unwrapped so its submodules can refer to the [Proc]
+   and [Ta] libraries without shadowing; external code should go through
+   [Lint.Pa.analyze] / [Lint.Ta_model.analyze] and friends. *)
+
+module Interval = Lint_interval
+module Report = Lint_report
+module Types = Lint_types
+module Pa = Lint_pa
+module Ta_model = Lint_ta

@@ -1,0 +1,24 @@
+(* PA typing diagnostics.
+
+   Thin wrapper turning {!Proc.Typing}'s unified sort inference into
+   hblint diagnostics.  The heavy lifting — one signature per action and
+   per definition, consistent across all occurrences — lives in the proc
+   library so the mCRL2 exporter shares it; here each recorded conflict
+   becomes an error diagnostic. *)
+
+module R = Lint_report
+
+let code_of_kind = function
+  | Proc.Typing.Sort_clash -> "PA-TYPE"
+  | Proc.Typing.Arity_conflict -> "PA-ACT-ARITY"
+  | Proc.Typing.Unbound_var -> "PA-UNBOUND-VAR"
+
+let check (spec : Proc.Spec.t) : Proc.Typing.signatures * R.diag list =
+  let sigs, errors = Proc.Typing.infer spec in
+  ( sigs,
+    List.map
+      (fun (e : Proc.Typing.error) ->
+        R.diag ~severity:R.Error
+          ~code:(code_of_kind e.Proc.Typing.err_kind)
+          ~where:e.Proc.Typing.err_context "%s" e.Proc.Typing.err_message)
+      errors )

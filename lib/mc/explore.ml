@@ -6,6 +6,18 @@ type ('s, 'l) space = {
 
 let default_max = 1_000_000
 
+(* Initial capacity of the duplicate-detection tables.  A good
+   [expected_states] hint (e.g. the lint pass's static state bound)
+   skips the rehash-and-copy cycles of growing from the default; the
+   clamp keeps a wildly overestimated bound from allocating a huge empty
+   table. *)
+let sizing_cap = 1 lsl 22
+
+let initial_capacity expected_states =
+  match expected_states with
+  | None -> 4096
+  | Some n -> max 4096 (min n sizing_cap)
+
 (* A hash table keyed by the system's own state equality and hash. *)
 module Table (S : System.S) = Hashtbl.Make (struct
   type t = S.state
@@ -14,11 +26,11 @@ module Table (S : System.S) = Hashtbl.Make (struct
   let hash = S.hash_state
 end)
 
-let space (type s l) ?(max_states = default_max)
+let space (type s l) ?(max_states = default_max) ?expected_states
     (sys : (s, l) System.t) : (s, l) space =
   let module S = (val sys) in
   let module T = Table (S) in
-  let index = T.create 4096 in
+  let index = T.create (initial_capacity expected_states) in
   let states = ref [] in
   let count = ref 0 in
   let complete = ref true in
@@ -67,11 +79,11 @@ type ('s, 'l) verdict =
   | Reached of ('s, 'l) witness
   | Bound_hit of int
 
-let find (type s l) ?(max_states = default_max) ~goal
+let find (type s l) ?(max_states = default_max) ?expected_states ~goal
     (sys : (s, l) System.t) : (s, l) verdict =
   let module S = (val sys) in
   let module T = Table (S) in
-  let visited = T.create 4096 in
+  let visited = T.create (initial_capacity expected_states) in
   (* Parent pointers for shortest-trace reconstruction: state index ->
      (label, parent index); states are also kept in an extensible array. *)
   let states = ref [||] in
@@ -129,10 +141,11 @@ let find (type s l) ?(max_states = default_max) ~goal
     | None -> if !truncated then Bound_hit max_states else Unreachable
   end
 
-let count (type s l) ?(max_states = default_max) (sys : (s, l) System.t) =
+let count (type s l) ?(max_states = default_max) ?expected_states
+    (sys : (s, l) System.t) =
   let module S = (val sys) in
   let module T = Table (S) in
-  let visited = T.create 4096 in
+  let visited = T.create (initial_capacity expected_states) in
   let queue = Queue.create () in
   let complete = ref true in
   T.add visited S.initial ();

@@ -15,7 +15,13 @@ type ('s, 'l) space = {
 val default_max : int
 (** The default [max_states] bound (one million). *)
 
-val space : ?max_states:int -> ('s, 'l) System.t -> ('s, 'l) space
+val sizing_cap : int
+(** Upper clamp (2{^22}) applied to [expected_states] hints when sizing
+    the duplicate-detection tables, so an overestimated static bound
+    cannot allocate a huge empty table. *)
+
+val space :
+  ?max_states:int -> ?expected_states:int -> ('s, 'l) System.t -> ('s, 'l) space
 (** [space sys] builds the reachable state graph of [sys] breadth-first.
     [max_states] defaults to {!default_max}.
 
@@ -43,10 +49,20 @@ type ('s, 'l) verdict =
   | Reached of ('s, 'l) witness
   | Bound_hit of int  (** no goal within the first [n] states explored *)
 
-val find : ?max_states:int -> goal:('s -> bool) -> ('s, 'l) System.t -> ('s, 'l) verdict
+val find :
+  ?max_states:int ->
+  ?expected_states:int ->
+  goal:('s -> bool) ->
+  ('s, 'l) System.t ->
+  ('s, 'l) verdict
 (** [find ~goal sys] searches breadth-first for a state satisfying [goal],
     returning a shortest witness trace when one exists. *)
 
-val count : ?max_states:int -> ('s, 'l) System.t -> int * bool
+val count :
+  ?max_states:int -> ?expected_states:int -> ('s, 'l) System.t -> int * bool
 (** [count sys] is the number of reachable states paired with a completeness
-    flag; cheaper than {!space} as no graph is retained. *)
+    flag; cheaper than {!space} as no graph is retained.
+
+    All entry points accept an [expected_states] hint (typically the lint
+    pass's static state bound) that pre-sizes the duplicate-detection
+    table, clamped to [[4096, sizing_cap]]; results are unaffected. *)

@@ -174,10 +174,17 @@ module Engine (S : System.S) = struct
     next : int Atomic.t;
   }
 
-  let make_table nshards =
+  let make_table ?expected_states nshards =
     let nshards = round_pow2 (max 1 nshards) in
+    (* Split the (clamped) expected-state hint evenly across the stripes:
+       states shard by hash, so the per-shard load is count / nshards. *)
+    let per_shard =
+      match expected_states with
+      | None -> 512
+      | Some n -> max 512 (min n Explore.sizing_cap / nshards)
+    in
     {
-      shards = Array.init nshards (fun _ -> T.create 512);
+      shards = Array.init nshards (fun _ -> T.create per_shard);
       locks = Array.init nshards (fun _ -> Mutex.create ());
       mask = nshards - 1;
       next = Atomic.make 0;
@@ -293,13 +300,13 @@ module Engine (S : System.S) = struct
      records for the replay; [goal] marks fresh states; [stop_on_goal]
      ends the loop at the first level that both contains a goal-flagged
      state and is entirely within the canonical [max_states] prefix. *)
-  let explore ~max_states ~domains ~shards ~progress ~keep_adj ~goal
-      ~stop_on_goal () =
+  let explore ?expected_states ~max_states ~domains ~shards ~progress
+      ~keep_adj ~goal ~stop_on_goal () =
     if domains < 1 then invalid_arg "Mc.Pexplore: domains must be >= 1";
     if max_states < 0 then invalid_arg "Mc.Pexplore: negative max_states";
     let crew = Crew.create domains in
     Fun.protect ~finally:(fun () -> Crew.shutdown crew) @@ fun () ->
-    let tbl = make_table shards in
+    let tbl = make_table ?expected_states shards in
     let pid0, _ = intern tbl S.initial in
     let store = make_store S.initial in
     Bytes.set store.goal_flag pid0 (if goal S.initial then '\001' else '\000');
@@ -418,10 +425,11 @@ module Engine (S : System.S) = struct
 
   let shard_occupancy tbl = Array.map T.length tbl.shards
 
-  let space ~max_states ~domains ~shards ~progress () =
+  let space ?expected_states ~max_states ~domains ~shards ~progress () =
     let t0 = Unix.gettimeofday () in
     let expl =
-      explore ~max_states ~domains ~shards ~progress ~keep_adj:true
+      explore ?expected_states ~max_states ~domains ~shards ~progress
+        ~keep_adj:true
         ~goal:(fun _ -> false)
         ~stop_on_goal:false ()
     in
@@ -445,9 +453,9 @@ module Engine (S : System.S) = struct
     in
     ({ Explore.lts; states; complete }, stats)
 
-  let count ~max_states ~domains ~shards () =
+  let count ?expected_states ~max_states ~domains ~shards () =
     let expl =
-      explore ~max_states ~domains ~shards
+      explore ?expected_states ~max_states ~domains ~shards
         ~progress:(fun ~depth:_ ~states:_ ~frontier:_ -> ())
         ~keep_adj:false
         ~goal:(fun _ -> false)
@@ -468,12 +476,12 @@ module Engine (S : System.S) = struct
     in
     go pid []
 
-  let find ~max_states ~domains ~shards ~goal () =
+  let find ?expected_states ~max_states ~domains ~shards ~goal () =
     if goal S.initial then
       Explore.Reached { Explore.trace = []; state = S.initial }
     else begin
       let expl =
-        explore ~max_states ~domains ~shards
+        explore ?expected_states ~max_states ~domains ~shards
           ~progress:(fun ~depth:_ ~states:_ ~frontier:_ -> ())
           ~keep_adj:true ~goal ~stop_on_goal:true ()
       in
@@ -523,25 +531,26 @@ end
 
 let no_progress ~depth:_ ~states:_ ~frontier:_ = ()
 
-let space_stats (type s l) ?(max_states = Explore.default_max) ?domains
-    ?(shards = default_shards) ?(progress = no_progress)
-    (sys : (s, l) System.t) : (s, l) Explore.space * stats =
+let space_stats (type s l) ?(max_states = Explore.default_max)
+    ?expected_states ?domains ?(shards = default_shards)
+    ?(progress = no_progress) (sys : (s, l) System.t) :
+    (s, l) Explore.space * stats =
   let domains = match domains with Some d -> d | None -> default_domains () in
   let module E = Engine ((val sys)) in
-  E.space ~max_states ~domains ~shards ~progress ()
+  E.space ?expected_states ~max_states ~domains ~shards ~progress ()
 
-let space ?max_states ?domains ?shards ?progress sys =
-  fst (space_stats ?max_states ?domains ?shards ?progress sys)
+let space ?max_states ?expected_states ?domains ?shards ?progress sys =
+  fst (space_stats ?max_states ?expected_states ?domains ?shards ?progress sys)
 
-let count (type s l) ?(max_states = Explore.default_max) ?domains
-    ?(shards = default_shards) (sys : (s, l) System.t) : int * bool =
+let count (type s l) ?(max_states = Explore.default_max) ?expected_states
+    ?domains ?(shards = default_shards) (sys : (s, l) System.t) : int * bool =
   let domains = match domains with Some d -> d | None -> default_domains () in
   let module E = Engine ((val sys)) in
-  E.count ~max_states ~domains ~shards ()
+  E.count ?expected_states ~max_states ~domains ~shards ()
 
-let find (type s l) ?(max_states = Explore.default_max) ?domains
-    ?(shards = default_shards) ~goal (sys : (s, l) System.t) :
+let find (type s l) ?(max_states = Explore.default_max) ?expected_states
+    ?domains ?(shards = default_shards) ~goal (sys : (s, l) System.t) :
     (s, l) Explore.verdict =
   let domains = match domains with Some d -> d | None -> default_domains () in
   let module E = Engine ((val sys)) in
-  E.find ~max_states ~domains ~shards ~goal ()
+  E.find ?expected_states ~max_states ~domains ~shards ~goal ()

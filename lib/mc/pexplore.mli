@@ -41,6 +41,7 @@ val pp_stats : Format.formatter -> stats -> unit
 
 val space :
   ?max_states:int ->
+  ?expected_states:int ->
   ?domains:int ->
   ?shards:int ->
   ?progress:(depth:int -> states:int -> frontier:int -> unit) ->
@@ -50,10 +51,17 @@ val space :
     is byte-identical to [Explore.space ?max_states sys] regardless of
     [domains].  [progress] is invoked once per BFS level (from the
     coordinating domain) with the current depth, interned state count and
-    frontier size. *)
+    frontier size.
+
+    [expected_states] (typically the lint pass's static state bound)
+    pre-sizes the lock-striped state table: the hint is clamped to
+    {!Explore.sizing_cap} and split evenly across the shards, replacing
+    the default 512-slot initial shards and the rehash-and-copy cycles
+    of growing them.  Results are unaffected. *)
 
 val space_stats :
   ?max_states:int ->
+  ?expected_states:int ->
   ?domains:int ->
   ?shards:int ->
   ?progress:(depth:int -> states:int -> frontier:int -> unit) ->
@@ -61,12 +69,19 @@ val space_stats :
   ('s, 'l) Explore.space * stats
 (** Like {!space}, additionally returning exploration statistics. *)
 
-val count : ?max_states:int -> ?domains:int -> ?shards:int -> ('s, 'l) System.t -> int * bool
+val count :
+  ?max_states:int ->
+  ?expected_states:int ->
+  ?domains:int ->
+  ?shards:int ->
+  ('s, 'l) System.t ->
+  int * bool
 (** Parallel {!Explore.count}: reachable-state count plus completeness
     flag, without retaining the graph. *)
 
 val find :
   ?max_states:int ->
+  ?expected_states:int ->
   ?domains:int ->
   ?shards:int ->
   goal:('s -> bool) ->

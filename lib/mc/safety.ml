@@ -26,15 +26,15 @@ let product (type s l) (sys : (s, l) System.t) (m : l Monitor.t) :
 
 (* Route goal searches through the sequential or the parallel engine
    depending on the requested domain count. *)
-let run_find ?max_states ?(domains = 1) ~goal sys =
-  if domains <= 1 then Explore.find ?max_states ~goal sys
-  else Pexplore.find ?max_states ~domains ~goal sys
+let run_find ?max_states ?expected_states ?(domains = 1) ~goal sys =
+  if domains <= 1 then Explore.find ?max_states ?expected_states ~goal sys
+  else Pexplore.find ?max_states ?expected_states ~domains ~goal sys
 
-let check_monitor ?max_states ?domains (type s l) (sys : (s, l) System.t)
-    (m : l Monitor.t) : l verdict =
+let check_monitor ?max_states ?expected_states ?domains (type s l)
+    (sys : (s, l) System.t) (m : l Monitor.t) : l verdict =
   let prod = product sys m in
   match
-    run_find ?max_states ?domains
+    run_find ?max_states ?expected_states ?domains
       ~goal:(fun (_, q) -> m.Monitor.accepting q)
       prod
   with
@@ -42,12 +42,12 @@ let check_monitor ?max_states ?domains (type s l) (sys : (s, l) System.t)
   | Explore.Reached w -> Violated w.Explore.trace
   | Explore.Bound_hit n -> Unknown n
 
-let check_forbidden ?max_states ?domains sys r =
-  check_monitor ?max_states ?domains sys (Regex.compile r)
+let check_forbidden ?max_states ?expected_states ?domains sys r =
+  check_monitor ?max_states ?expected_states ?domains sys (Regex.compile r)
 
-let check_state ?max_states ?domains (type s l) (sys : (s, l) System.t) bad :
-    l verdict =
-  match run_find ?max_states ?domains ~goal:bad sys with
+let check_state ?max_states ?expected_states ?domains (type s l)
+    (sys : (s, l) System.t) bad : l verdict =
+  match run_find ?max_states ?expected_states ?domains ~goal:bad sys with
   | Explore.Unreachable -> Holds
   | Explore.Reached w -> Violated w.Explore.trace
   | Explore.Bound_hit n -> Unknown n

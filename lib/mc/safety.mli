@@ -12,20 +12,37 @@ type 'l verdict =
   | Unknown of int  (** state bound hit before a verdict was reached *)
 
 val check_monitor :
-  ?max_states:int -> ?domains:int -> ('s, 'l) System.t -> 'l Monitor.t -> 'l verdict
+  ?max_states:int ->
+  ?expected_states:int ->
+  ?domains:int ->
+  ('s, 'l) System.t ->
+  'l Monitor.t ->
+  'l verdict
 (** [check_monitor sys m] explores the product of [sys] and [m] and reports
     whether an accepting monitor state is reachable.  [domains] (default 1)
     selects the exploration engine: [1] uses the sequential {!Explore},
     more uses the parallel {!Pexplore} with that many domains; verdicts
-    and counterexample lengths are identical either way. *)
+    and counterexample lengths are identical either way.  [expected_states]
+    is forwarded to the engine as a table pre-sizing hint (see
+    {!Pexplore.space}); it never affects verdicts. *)
 
 val check_forbidden :
-  ?max_states:int -> ?domains:int -> ('s, 'l) System.t -> 'l Regex.t -> 'l verdict
+  ?max_states:int ->
+  ?expected_states:int ->
+  ?domains:int ->
+  ('s, 'l) System.t ->
+  'l Regex.t ->
+  'l verdict
 (** [check_forbidden sys r] decides the µ-calculus safety formula
     [\[r\]false]: [Violated w] means the trace [w] matches [r]. *)
 
 val check_state :
-  ?max_states:int -> ?domains:int -> ('s, 'l) System.t -> ('s -> bool) -> 'l verdict
+  ?max_states:int ->
+  ?expected_states:int ->
+  ?domains:int ->
+  ('s, 'l) System.t ->
+  ('s -> bool) ->
+  'l verdict
 (** [check_state sys bad] decides the (negated) reachability property
     [E<> bad]: [Violated w] means [w] leads to a state satisfying [bad].
     This is the UPPAAL-style check used for the timed-automata models. *)

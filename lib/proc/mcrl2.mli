@@ -5,10 +5,14 @@
     equation per definition, and an [init] line wiring the parallel
     composition through [hide], [allow] and [comm].
 
-    Action argument sorts are inferred per action name from the argument
-    expressions at their occurrences (integer arithmetic implies [Int],
-    boolean operations [Bool]); actions never used with arguments are
-    declared plain.  Finite sums [sum x:[lo..hi]] are exported as
+    Action argument sorts and definition parameter sorts come from the
+    unified signatures of {!Typing.infer}, so every occurrence of an
+    action agrees on one declaration; positions the unifier left
+    unconstrained default to [Int].  If the specification is ill-sorted
+    (a {!Typing} conflict — surfaced as an error by the lint pass), the
+    exporter stays total and prints the first binding.  Actions never
+    used with arguments are declared plain.  Finite sums
+    [sum x:[lo..hi]] are exported as
     [sum x: Int . (lo <= x && x <= hi) -> ...]. *)
 
 val pp : Format.formatter -> Spec.t -> unit

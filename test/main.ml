@@ -14,4 +14,5 @@ let () =
       Test_runtime.tests;
       Test_fault.tests;
       Test_fd.tests;
+      Test_lint.tests;
     ]
