@@ -1,6 +1,6 @@
 DUNE ?= dune
 
-.PHONY: all build test bench bench-parallel faults lint clean fmt
+.PHONY: all build test bench bench-parallel faults lint ltl clean fmt
 
 all: build
 
@@ -30,6 +30,17 @@ lint:
 	$(DUNE) exec bin/hblint.exe -- --json > _build/hblint-1.json
 	$(DUNE) exec bin/hblint.exe -- --json > _build/hblint-2.json
 	cmp _build/hblint-1.json _build/hblint-2.json
+
+# Liveness gate: on every variant at its race point the fixed model
+# satisfies the R1-R3 liveness formulations under weak fairness, the
+# unfixed model is refuted on R2/R3 with a concrete lasso, both
+# emptiness engines agree, and the JSON report must reproduce
+# byte-identically across two runs.
+ltl:
+	$(DUNE) exec bin/hbltl.exe -- smoke
+	$(DUNE) exec bin/hbltl.exe -- check R2 -v binary --fixed --json > _build/hbltl-1.json
+	$(DUNE) exec bin/hbltl.exe -- check R2 -v binary --fixed --json > _build/hbltl-2.json
+	cmp _build/hbltl-1.json _build/hbltl-2.json
 
 # Just the sequential-vs-parallel exploration comparison.
 bench-parallel:

@@ -260,6 +260,30 @@ let bench_tests =
                  (H.Ta_models.build H.Ta_models.Binary params)
              in
              ignore (Mc.Explore.count (Ta.Semantics.system net))));
+      (* Büchi-product liveness vs plain reachability on the same model:
+         the R2-live check on the fixed binary protocol holds, so both
+         engines walk the whole product — the overhead over a bare state
+         count is the cost of the automaton component. *)
+      Test.make ~name:"ltl/binary-plain-reach(4,4)"
+        (Staged.stage (fun () ->
+             let params = H.Params.make ~tmin:4 ~tmax:4 () in
+             let net =
+               Ta.Semantics.compile
+                 (H.Ta_models.build ~fixed:true H.Ta_models.Binary params)
+             in
+             ignore (Mc.Explore.count (Ta.Semantics.system net))));
+      Test.make ~name:"ltl/binary-R2-product-ndfs(4,4)"
+        (Staged.stage (fun () ->
+             let params = H.Params.make ~tmin:4 ~tmax:4 () in
+             ignore
+               (H.Verify.check_live ~fixed:true ~engine:Ltl.Check.Ndfs
+                  H.Ta_models.Binary params H.Requirements.R2)));
+      Test.make ~name:"ltl/binary-R2-product-scc(4,4)"
+        (Staged.stage (fun () ->
+             let params = H.Params.make ~tmin:4 ~tmax:4 () in
+             ignore
+               (H.Verify.check_live ~fixed:true ~engine:Ltl.Check.Scc
+                  H.Ta_models.Binary params H.Requirements.R2)));
       (* Sequential vs parallel exploration of the heartbeat spaces. *)
       Test.make ~name:"pexplore/binary-seq"
         (Staged.stage (fun () ->

@@ -1,0 +1,350 @@
+(* hbltl: LTL liveness checking of the accelerated heartbeat protocols.
+
+   Where hbverify answers reachability questions (can a bad state be
+   reached?), hbltl answers liveness ones (does the beat exchange keep
+   happening on every fair run?).  Refutations are lassos: a finite
+   prefix plus a cycle that repeats forever. *)
+
+open Cmdliner
+module H = Heartbeat
+
+let variant_conv =
+  let parse s =
+    match
+      List.find_opt
+        (fun v -> H.Ta_models.variant_name v = s)
+        H.Ta_models.all_variants
+    with
+    | Some v -> Ok v
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown variant %s (expected one of: %s)" s
+                (String.concat ", "
+                   (List.map H.Ta_models.variant_name H.Ta_models.all_variants))))
+  in
+  Arg.conv
+    (parse, fun ppf v -> Format.pp_print_string ppf (H.Ta_models.variant_name v))
+
+let variant_arg =
+  Arg.(
+    value
+    & opt variant_conv H.Ta_models.Binary
+    & info [ "v"; "variant" ] ~docv:"VARIANT"
+        ~doc:"Protocol variant: binary, revised, two-phase, static, \
+              expanding or dynamic.")
+
+let tmin_arg =
+  Arg.(value & opt int 10 & info [ "tmin" ] ~docv:"TMIN" ~doc:"Lower round bound.")
+
+let tmax_arg =
+  Arg.(value & opt int 10 & info [ "tmax" ] ~docv:"TMAX" ~doc:"Upper round bound.")
+
+let n_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "n" ] ~docv:"N" ~doc:"Number of participants (multi-party variants).")
+
+let fixed_arg =
+  Arg.(
+    value & flag
+    & info [ "fixed" ] ~doc:"Check the corrected (section-6) version.")
+
+let engine_conv =
+  let parse = function
+    | "ndfs" -> Ok Ltl.Check.Ndfs
+    | "scc" -> Ok Ltl.Check.Scc
+    | s -> Error (`Msg ("unknown engine " ^ s ^ " (expected ndfs or scc)"))
+  in
+  Arg.conv
+    ( parse,
+      fun ppf e ->
+        Format.pp_print_string ppf
+          (match e with Ltl.Check.Ndfs -> "ndfs" | Ltl.Check.Scc -> "scc") )
+
+let engine_arg =
+  Arg.(
+    value
+    & opt engine_conv Ltl.Check.Ndfs
+    & info [ "e"; "engine" ] ~docv:"ENGINE"
+        ~doc:"Emptiness engine: ndfs (on-the-fly nested DFS) or scc \
+              (Tarjan components over the built product).")
+
+let req_conv =
+  let parse = function
+    | "R1" | "r1" -> Ok H.Requirements.R1
+    | "R2" | "r2" -> Ok H.Requirements.R2
+    | "R3" | "r3" -> Ok H.Requirements.R3
+    | s -> Error (`Msg ("unknown requirement " ^ s))
+  in
+  Arg.conv
+    (parse, fun ppf r -> Format.pp_print_string ppf (H.Requirements.name r))
+
+let req_arg =
+  Arg.(
+    required
+    & pos 0 (some req_conv) None
+    & info [] ~docv:"REQ" ~doc:"Requirement: R1, R2 or R3.")
+
+(* ------------------------------------------------------------------ *)
+(* JSON rendering (deterministic: fixed key order, no hash iteration)  *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let step_string = function
+  | Ltl.Check.Step Ta.Semantics.Delay -> "tick"
+  | Ltl.Check.Step (Ta.Semantics.Act a) -> a
+  | Ltl.Check.Stutter -> "(stutter)"
+
+let json_steps steps =
+  "["
+  ^ String.concat ","
+      (List.map (fun s -> "\"" ^ json_escape (step_string s) ^ "\"") steps)
+  ^ "]"
+
+let verdict_json ~variant ~params ~fixed ~engine ~req ~formula verdict =
+  let open Printf in
+  let buf = Buffer.create 256 in
+  bprintf buf "{\"tool\":\"hbltl\",\"variant\":\"%s\",\"tmin\":%d,\"tmax\":%d,"
+    (H.Ta_models.variant_name variant)
+    params.H.Params.tmin params.H.Params.tmax;
+  bprintf buf "\"n\":%d,\"fixed\":%b,\"requirement\":\"%s\",\"engine\":\"%s\","
+    params.H.Params.n fixed (H.Requirements.name req)
+    (match engine with Ltl.Check.Ndfs -> "ndfs" | Ltl.Check.Scc -> "scc");
+  bprintf buf "\"formula\":\"%s\",\"fairness\":[%s]," (json_escape formula)
+    (String.concat ","
+       (List.map
+          (fun (f : _ Ltl.Check.fairness) ->
+            "\"" ^ json_escape f.Ltl.Check.fname ^ "\"")
+          H.Requirements.live_fairness));
+  (match verdict with
+  | Ltl.Check.Holds -> bprintf buf "\"verdict\":\"holds\"}"
+  | Ltl.Check.Unknown n ->
+      bprintf buf "\"verdict\":\"unknown\",\"states\":%d}" n
+  | Ltl.Check.Refuted l ->
+      bprintf buf "\"verdict\":\"refuted\",\"lasso\":{\"prefix\":%s,\"cycle\":%s}}"
+        (json_steps l.Ltl.Check.prefix)
+        (json_steps l.Ltl.Check.cycle));
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* check                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let run_check variant params fixed engine req =
+  ( H.Verify.check_live ~fixed ~engine variant params req,
+    Format.asprintf "%a" Ltl.Formula.pp
+      (H.Requirements.live_formula variant params req) )
+
+let check_cmd =
+  let run variant tmin tmax n fixed engine json msc req =
+    let params = H.Params.make ~n ~tmin ~tmax () in
+    let verdict, formula = run_check variant params fixed engine req in
+    if json then
+      print_endline
+        (verdict_json ~variant ~params ~fixed ~engine ~req ~formula verdict)
+    else begin
+      Format.printf "%s%s %a %s-live (%s engine)@."
+        (H.Ta_models.variant_name variant)
+        (if fixed then " [fixed]" else "")
+        H.Params.pp params (H.Requirements.name req)
+        (match engine with Ltl.Check.Ndfs -> "ndfs" | Ltl.Check.Scc -> "scc");
+      Format.printf "property: %s@." (H.Requirements.live_description req);
+      Format.printf "formula:  %s@." formula;
+      match verdict with
+      | Ltl.Check.Holds -> Format.printf "verdict:  HOLDS@."
+      | Ltl.Check.Unknown st ->
+          Format.printf "verdict:  UNKNOWN (state bound hit at %d)@." st
+      | Ltl.Check.Refuted lasso ->
+          Format.printf "verdict:  REFUTED@.@.";
+          if msc then
+            print_string
+              (H.Msc.render_lasso ~n
+                 ~header:
+                   (Printf.sprintf "%s-live refutation — %s%s"
+                      (H.Requirements.name req)
+                      (H.Ta_models.variant_name variant)
+                      (if fixed then " [fixed]" else ""))
+                 lasso)
+          else begin
+            List.iter
+              (fun e ->
+                Format.printf "  t=%-4d %s@." e.H.Scenarios.time
+                  e.H.Scenarios.action)
+              (H.Scenarios.timeline (Ltl.Check.strip lasso.Ltl.Check.prefix));
+            Format.printf "  -- cycle repeats forever --@.";
+            List.iter
+              (fun s -> Format.printf "  %s@." (step_string s))
+              lasso.Ltl.Check.cycle
+          end
+    end;
+    match verdict with
+    | Ltl.Check.Holds -> ()
+    | Ltl.Check.Refuted _ -> exit 1
+    | Ltl.Check.Unknown _ -> exit 2
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the deterministic JSON verdict.")
+  in
+  let msc_arg =
+    Arg.(
+      value & flag
+      & info [ "msc" ]
+          ~doc:"Render a refutation lasso as a message sequence chart.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Check the liveness formulation of one requirement.")
+    Term.(
+      const run $ variant_arg $ tmin_arg $ tmax_arg $ n_arg $ fixed_arg
+      $ engine_arg $ json_arg $ msc_arg $ req_arg)
+
+(* ------------------------------------------------------------------ *)
+(* table                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let race_params variant =
+  (* the simultaneity races need tmin = tmax; the multi-party variants
+     get the smallest instance to keep the product small *)
+  if H.Ta_models.is_multi variant && variant <> H.Ta_models.Static then
+    H.Params.make ~tmin:2 ~tmax:2 ()
+  else H.Params.make ~tmin:4 ~tmax:4 ()
+
+let table_cmd =
+  let run engine =
+    Format.printf
+      "liveness verdicts at the race point tmin = tmax (%s engine)@.@."
+      (match engine with Ltl.Check.Ndfs -> "ndfs" | Ltl.Check.Scc -> "scc");
+    Format.printf "  %-19s %-18s %3s %3s %3s@." "variant" "params" "R1" "R2"
+      "R3";
+    List.iter
+      (fun variant ->
+        List.iter
+          (fun fixed ->
+            let params = race_params variant in
+            let cell req =
+              match H.Verify.check_live ~fixed ~engine variant params req with
+              | Ltl.Check.Holds -> "T"
+              | Ltl.Check.Refuted _ -> "F"
+              | Ltl.Check.Unknown _ -> "?"
+            in
+            Format.printf "  %-19s %-18s %3s %3s %3s@."
+              (H.Ta_models.variant_name variant
+              ^ if fixed then " [fixed]" else "")
+              (Format.asprintf "%a" H.Params.pp params)
+              (cell H.Requirements.R1) (cell H.Requirements.R2)
+              (cell H.Requirements.R3))
+          [ false; true ])
+      H.Ta_models.all_variants
+  in
+  Cmd.v
+    (Cmd.info "table"
+       ~doc:"Liveness verdicts for all six variants, original and fixed.")
+    Term.(const run $ engine_arg)
+
+(* ------------------------------------------------------------------ *)
+(* smoke: the CI gate                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let smoke_cmd =
+  let run () =
+    let failures = ref 0 in
+    let expect what ok =
+      Format.printf "%-62s %s@." what (if ok then "ok" else "FAILED");
+      if not ok then incr failures
+    in
+    let check ~fixed ~engine variant req =
+      H.Verify.check_live ~fixed ~engine variant (race_params variant) req
+    in
+    List.iter
+      (fun variant ->
+        let name = H.Ta_models.variant_name variant in
+        List.iter
+          (fun req ->
+            let rname = H.Requirements.name req in
+            let unf = check ~fixed:false ~engine:Ltl.Check.Ndfs variant req in
+            let unf' = check ~fixed:false ~engine:Ltl.Check.Scc variant req in
+            let fx = check ~fixed:true ~engine:Ltl.Check.Ndfs variant req in
+            let fx' = check ~fixed:true ~engine:Ltl.Check.Scc variant req in
+            expect
+              (Printf.sprintf "%s %s-live: engines agree (unfixed and fixed)"
+                 name rname)
+              (Ltl.Check.holds unf = Ltl.Check.holds unf'
+              && Ltl.Check.holds fx = Ltl.Check.holds fx');
+            expect
+              (Printf.sprintf "%s %s-live: fixed model holds under fairness"
+                 name rname)
+              (Ltl.Check.holds fx);
+            match req with
+            | H.Requirements.R1 ->
+                (* the untimed essence of R1 holds even unfixed: the races
+                   break the 2*tmax bound, not eventual detection *)
+                expect
+                  (Printf.sprintf "%s R1-live: holds on the unfixed model too"
+                     name)
+                  (Ltl.Check.holds unf)
+            | H.Requirements.R2 | H.Requirements.R3 ->
+                expect
+                  (Printf.sprintf
+                     "%s %s-live: unfixed model refuted with a lasso cycle"
+                     name rname)
+                  (match unf with
+                  | Ltl.Check.Refuted l -> l.Ltl.Check.cycle <> []
+                  | _ -> false))
+          H.Requirements.all)
+      H.Ta_models.all_variants;
+    (* JSON determinism: the same query twice is byte-identical *)
+    let render () =
+      let variant = H.Ta_models.Binary and req = H.Requirements.R2 in
+      let params = race_params variant in
+      let verdict, formula =
+        run_check variant params false Ltl.Check.Scc req
+      in
+      verdict_json ~variant ~params ~fixed:false ~engine:Ltl.Check.Scc ~req
+        ~formula verdict
+    in
+    expect "json verdict reproduces byte-identically" (render () = render ());
+    (* show one lasso for the log *)
+    (match
+       H.Verify.check_live ~fixed:false ~engine:Ltl.Check.Scc H.Ta_models.Binary
+         (race_params H.Ta_models.Binary) H.Requirements.R2
+     with
+    | Ltl.Check.Refuted lasso ->
+        Format.printf "@.%s"
+          (H.Msc.render_lasso
+             ~header:"example: R2-live refutation — binary, tmin = tmax"
+             lasso)
+    | _ -> ());
+    if !failures > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "smoke"
+       ~doc:
+         "Deterministic liveness gate: fixed models hold under fairness, \
+          unfixed ones are refuted with lassos, engines agree, JSON \
+          reproduces byte-identically.")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "hbltl" ~version:"1.0.0"
+      ~doc:
+        "LTL liveness model checking of accelerated heartbeat protocols \
+         (Büchi products with lasso counterexamples)."
+  in
+  exit (Cmd.eval (Cmd.group info [ check_cmd; table_cmd; smoke_cmd ]))

@@ -8,7 +8,9 @@
     - {!Heartbeat} — the accelerated heartbeat protocols, their formal
       models, requirements and verification drivers
     - {!Fd} — a failure-detector layer (the paper's stated follow-up)
-      with Chen-style QoS measurement *)
+      with Chen-style QoS measurement
+    - {!Ltl} — LTL liveness checking with Büchi products, fairness and
+      lasso counterexamples *)
 
 module Lts = Lts
 module Mc = Mc
@@ -17,3 +19,4 @@ module Ta = Ta
 module Sim = Sim
 module Heartbeat = Heartbeat
 module Fd = Fd
+module Ltl = Ltl

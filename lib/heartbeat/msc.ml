@@ -34,26 +34,23 @@ let column_of action =
 let channel_glyph action =
   if starts_with "dlv0" action then Printf.sprintf "--%s-->" action
   else if starts_with "dlv1" action then Printf.sprintf "<--%s--" action
+  else if starts_with "(" action then action
   else Printf.sprintf "x %s x" action
 
-let render ?(n = 1) (s : Scenarios.t) =
-  let buf = Buffer.create 1024 in
-  let col_width = 22 in
-  let pad text = Printf.sprintf "%-*s" col_width text in
-  let header =
-    pad "time" ^ pad "p[0]" ^ pad "channel"
-    ^ String.concat "" (List.init n (fun i -> pad (Printf.sprintf "p[%d]" (i + 1))))
-  in
-  Buffer.add_string buf (Printf.sprintf "%s — %s\n" s.Scenarios.figure
-     (Ta_models.variant_name s.Scenarios.variant));
-  Buffer.add_string buf (header ^ "\n");
-  Buffer.add_string buf (String.make (String.length header) '-' ^ "\n");
+let col_width = 22
+
+let pad text = Printf.sprintf "%-*s" col_width text
+
+let header_line n =
+  pad "time" ^ pad "p[0]" ^ pad "channel"
+  ^ String.concat "" (List.init n (fun i -> pad (Printf.sprintf "p[%d]" (i + 1))))
+
+let add_events buf ~n ~last_time events =
   let row time cells =
     Buffer.add_string buf (pad time);
     List.iter (fun c -> Buffer.add_string buf (pad c)) cells;
     Buffer.add_char buf '\n'
   in
-  let last_time = ref (-1) in
   List.iter
     (fun (e : Scenarios.event) ->
       let time_cell =
@@ -74,5 +71,55 @@ let render ?(n = 1) (s : Scenarios.t) =
             "" :: channel_glyph e.Scenarios.action :: List.init n (fun _ -> "")
       in
       row time_cell cells)
-    s.Scenarios.events;
+    events
+
+let render ?(n = 1) (s : Scenarios.t) =
+  let buf = Buffer.create 1024 in
+  let header = header_line n in
+  Buffer.add_string buf (Printf.sprintf "%s — %s\n" s.Scenarios.figure
+     (Ta_models.variant_name s.Scenarios.variant));
+  Buffer.add_string buf (header ^ "\n");
+  Buffer.add_string buf (String.make (String.length header) '-' ^ "\n");
+  add_events buf ~n ~last_time:(ref (-1)) s.Scenarios.events;
+  Buffer.contents buf
+
+let render_lasso ?(n = 1) ~header:title
+    (lasso : Ta.Semantics.label Ltl.Check.lasso) =
+  let buf = Buffer.create 1024 in
+  let header = header_line n in
+  Buffer.add_string buf (title ^ "\n");
+  Buffer.add_string buf (header ^ "\n");
+  Buffer.add_string buf (String.make (String.length header) '-' ^ "\n");
+  (* fold ticks into timestamps, continuing across the prefix/cycle
+     boundary so the cycle's first lap carries real times *)
+  let time = ref 0 in
+  let events steps =
+    List.filter_map
+      (fun (s : Ta.Semantics.label Ltl.Check.step) ->
+        match s with
+        | Ltl.Check.Step Ta.Semantics.Delay ->
+            incr time;
+            None
+        | Ltl.Check.Step (Ta.Semantics.Act a) ->
+            Some { Scenarios.time = !time; action = a }
+        | Ltl.Check.Stutter ->
+            Some { Scenarios.time = !time; action = "(stutter)" })
+      steps
+  in
+  let prefix_events = events lasso.Ltl.Check.prefix in
+  let cycle_events = events lasso.Ltl.Check.cycle in
+  let last_time = ref (-1) in
+  add_events buf ~n ~last_time prefix_events;
+  let ticks =
+    List.length
+      (List.filter
+         (fun s -> s = Ltl.Check.Step Ta.Semantics.Delay)
+         lasso.Ltl.Check.cycle)
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "%s cycle repeats forever (%d tick%s per lap) %s\n"
+       (String.make 8 '=') ticks
+       (if ticks = 1 then "" else "s")
+       (String.make (max 8 (String.length header - 50)) '='));
+  add_events buf ~n ~last_time cycle_events;
   Buffer.contents buf

@@ -10,6 +10,13 @@ val render : ?n:int -> Scenarios.t -> string
 (** [render scenario] lays the trace out as a chart; [n] is the number of
     participant columns (default 1). *)
 
+val render_lasso :
+  ?n:int -> header:string -> Ta.Semantics.label Ltl.Check.lasso -> string
+(** Render a liveness counterexample ({!Verify.check_live}) in the same
+    chart style: the finite prefix, a separator line, then one lap of the
+    cycle that repeats forever.  Tick steps are folded into timestamps
+    continuing across the boundary. *)
+
 val column_of : string -> int option
 (** Which lifeline an action belongs to: [Some 0] for p[0], [Some i] for
     p\[i\], [None] for channel events (deliveries and losses).  Exposed

@@ -73,3 +73,90 @@ let bad_state variant (p : Params.t) (net : Ta.Semantics.t) req =
       let no_excuse = List.map (fun j -> no_excuse_pred variant net j) ps in
       fun c ->
         lost c = 0 && p0_nv c && List.for_all (fun ok_j -> ok_j c) no_excuse
+
+(* ------------------------------------------------------------------ *)
+(* Liveness formulations                                               *)
+(* ------------------------------------------------------------------ *)
+
+let is_act p = function
+  | Ta.Semantics.Act a -> p a
+  | Ta.Semantics.Delay -> false
+
+let act name = Ltl.Formula.lbl name (is_act (String.equal name))
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* Environment faults: message losses, voluntary crashes, voluntary
+   leaves.  Non-voluntary inactivations are deliberately *not* faults —
+   they are the protocol's own decisions, and the runs we want to expose
+   (the §5.5 races) contain them. *)
+let fault =
+  Ltl.Formula.lbl "fault"
+    (is_act (fun a ->
+         starts_with "lose" a || starts_with "jlose" a
+         || starts_with "crash_" a || starts_with "leave" a))
+
+let benign = Ltl.Formula.globally (Ltl.Formula.Not fault)
+
+let live_fairness =
+  [ Ltl.Check.often "time" (fun l -> l = Ta.Semantics.Delay) ]
+
+let live_formula variant (p : Params.t) req =
+  let ps = participants variant p in
+  let joining =
+    variant = Ta_models.Expanding || variant = Ta_models.Dynamic
+  in
+  let dlv1 i = act (Printf.sprintf "dlv1_%d" i) in
+  let dlv0 i = act (Printf.sprintf "dlv0_%d" i) in
+  let join i = act (Printf.sprintf "join%d" i) in
+  let joined_owes i f =
+    if joining then Ltl.Formula.implies (Ltl.Formula.finally (join i)) f
+    else f
+  in
+  match req with
+  | R1 ->
+      (* The watchdog arms at the first *delivered* beat (a join whose
+         every beat is lost leaves p[0] unaware of p[i], so p[0] owes
+         nothing), hence the F dlv1_i guard rather than F join_i. *)
+      Ltl.Formula.conj
+        (List.map
+           (fun i ->
+             Ltl.Formula.implies
+               (Ltl.Formula.finally (dlv1 i))
+               (Ltl.Formula.disj
+                  ([
+                     Ltl.Formula.infinitely_often (dlv1 i);
+                     Ltl.Formula.finally (act "inactivate_nv_p0");
+                     Ltl.Formula.finally (act "crash_p0");
+                   ]
+                  @
+                  if variant = Ta_models.Dynamic then
+                    [ Ltl.Formula.finally (act (Printf.sprintf "leave%d" i)) ]
+                  else [])))
+           ps)
+  | R2 ->
+      Ltl.Formula.implies benign
+        (Ltl.Formula.conj
+           (List.map
+              (fun i -> joined_owes i (Ltl.Formula.infinitely_often (dlv1 i)))
+              ps))
+  | R3 ->
+      Ltl.Formula.implies benign
+        (Ltl.Formula.conj
+           (List.map
+              (fun i -> joined_owes i (Ltl.Formula.infinitely_often (dlv0 i)))
+              ps))
+
+let live_description = function
+  | R1 ->
+      "if some participant's beats stop arriving forever, p[0] is \
+       eventually inactivated (untimed essence of R1; the 2*tmax bound \
+       stays with the watchdogs)"
+  | R2 ->
+      "with no losses, crashes or leaves, every participant's beats keep \
+       arriving at p[0] forever"
+  | R3 ->
+      "with no losses, crashes or leaves, p[0]'s beats keep arriving at \
+       every participant forever"

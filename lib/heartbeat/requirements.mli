@@ -34,3 +34,43 @@ val bad_state :
     configurations whose reachability refutes requirement [r].  The
     [compiled] network must have been built by {!Ta_models.build} for the
     same [variant] and [params] (and with monitors for R1). *)
+
+(** {2 Liveness formulations}
+
+    Each requirement also has a {e liveness} reading, checked with the LTL
+    engine ({!Ltl.Check}) instead of as a bad-state reachability:
+
+    - {b R2-live}: if the environment is benign — no message loss, no
+      voluntary crash, no leave, ever — then every participant's beats keep
+      arriving at p[0] forever ([GF dlv1_i]).  The non-voluntary
+      inactivations of the unfixed protocols kill the beat stream, so the
+      simultaneity races of §5.5 show up as lassos ending in an idle cycle.
+    - {b R3-live}: symmetrically, p[0]'s beats keep arriving at every
+      participant forever ([GF dlv0_i]).
+    - {b R1-live}: the untimed essence of R1 — if p\[i\]'s beats stop
+      arriving forever, p[0] is eventually inactivated (or crashed
+      voluntarily).  No benign-environment premise: losses and crashes are
+      exactly what the watchdog must detect.  The [2*tmax] {e bound} of R1
+      proper is a real-time property outside LTL's reach; it stays with the
+      watchdog automata of {!bad_state}.  Expected to hold on unfixed
+      models too.
+
+    In the expanding/dynamic variants the per-participant obligation is
+    guarded by [F join_i] (a participant that never joins owes nothing),
+    and in the dynamic variant R1-live also excuses a voluntary leave.
+
+    All three are checked under the {!live_fairness} premise (time
+    divergence): Zeno runs and deadlock stutter-extensions cannot refute
+    them. *)
+
+val live_formula :
+  Ta_models.variant ->
+  Params.t ->
+  requirement ->
+  Ta.Semantics.label Ltl.Formula.t
+
+val live_fairness : Ta.Semantics.label Ltl.Check.fairness list
+(** Time divergence: the unit-delay tick occurs infinitely often. *)
+
+val live_description : requirement -> string
+(** One-line prose for CLI output. *)

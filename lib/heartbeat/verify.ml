@@ -34,6 +34,14 @@ let check ?(fixed = false) ?(max_states = default_max) ?(domains = 1) variant
         (Ta_models.variant_name variant)
         (Requirements.name req) Params.pp params
 
+let check_live ?(fixed = false) ?(engine = Ltl.Check.Ndfs)
+    ?(max_states = default_max) variant params req =
+  let model = Ta_models.build ~fixed variant params in
+  let net = Ta.Semantics.compile model in
+  Ltl.Check.check ~engine ~fairness:Requirements.live_fairness ~max_states
+    (Ta.Semantics.system net)
+    (Requirements.live_formula variant params req)
+
 (* R1 with an explicit watchdog bound. *)
 let r1_holds_with_bound ~fixed ~max_states ~domains variant params bound =
   let model =

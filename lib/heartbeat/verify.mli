@@ -25,6 +25,21 @@ val check :
     verdict and counterexample length are identical either way.
     @raise Failure if the state bound is exceeded (no verdict). *)
 
+val check_live :
+  ?fixed:bool ->
+  ?engine:Ltl.Check.engine ->
+  ?max_states:int ->
+  Ta_models.variant ->
+  Params.t ->
+  Requirements.requirement ->
+  Ta.Semantics.label Ltl.Check.verdict
+(** Model-check the liveness formulation of a requirement
+    ({!Requirements.live_formula}) under time divergence
+    ({!Requirements.live_fairness}).  The watchdog automata are never
+    included: R1-live is a pure LTL property.  A refutation carries a
+    lasso (render it with {!Msc.render_lasso}); [Unknown] is returned
+    when the product state bound is hit. *)
+
 type row = {
   tmin : int;
   tmax : int;

@@ -1,0 +1,92 @@
+type 'l t =
+  | True
+  | False
+  | Lbl of string * ('l -> bool)
+  | Enabled of string * ('l -> bool)
+  | Not of 'l t
+  | And of 'l t * 'l t
+  | Or of 'l t * 'l t
+  | Next of 'l t
+  | Until of 'l t * 'l t
+  | Release of 'l t * 'l t
+
+let lbl name pred = Lbl (name, pred)
+let enabled name pred = Enabled (name, pred)
+
+let conj = function
+  | [] -> True
+  | f :: fs -> List.fold_left (fun a b -> And (a, b)) f fs
+
+let disj = function
+  | [] -> False
+  | f :: fs -> List.fold_left (fun a b -> Or (a, b)) f fs
+
+let implies a b = Or (Not a, b)
+let finally f = Until (True, f)
+let globally f = Release (False, f)
+let weak_until a b = Release (b, Or (a, b))
+let infinitely_often f = globally (finally f)
+let eventually_always f = finally (globally f)
+
+let rec pp ppf = function
+  | True -> Format.pp_print_string ppf "true"
+  | False -> Format.pp_print_string ppf "false"
+  | Lbl (name, _) -> Format.pp_print_string ppf name
+  | Enabled (name, _) -> Format.fprintf ppf "enabled(%s)" name
+  | Not f -> Format.fprintf ppf "!(%a)" pp f
+  | And (a, b) -> Format.fprintf ppf "(%a && %a)" pp a pp b
+  | Or (a, b) -> Format.fprintf ppf "(%a || %a)" pp a pp b
+  | Next f -> Format.fprintf ppf "X (%a)" pp f
+  | Until (True, f) -> Format.fprintf ppf "F (%a)" pp f
+  | Until (a, b) -> Format.fprintf ppf "(%a U %a)" pp a pp b
+  | Release (False, f) -> Format.fprintf ppf "G (%a)" pp f
+  | Release (a, b) -> Format.fprintf ppf "(%a R %a)" pp a pp b
+
+let rec nnf = function
+  | (True | False | Lbl _ | Enabled _) as f -> f
+  | And (a, b) -> And (nnf a, nnf b)
+  | Or (a, b) -> Or (nnf a, nnf b)
+  | Next f -> Next (nnf f)
+  | Until (a, b) -> Until (nnf a, nnf b)
+  | Release (a, b) -> Release (nnf a, nnf b)
+  | Not f -> (
+      match f with
+      | True -> False
+      | False -> True
+      | Lbl _ | Enabled _ -> Not (nnf f)
+      | Not g -> nnf g
+      | And (a, b) -> Or (nnf (Not a), nnf (Not b))
+      | Or (a, b) -> And (nnf (Not a), nnf (Not b))
+      | Next g -> Next (nnf (Not g))
+      | Until (a, b) -> Release (nnf (Not a), nnf (Not b))
+      | Release (a, b) -> Until (nnf (Not a), nnf (Not b)))
+
+type cls = Bounded | Safety | Cosafety | General
+
+let classify f =
+  let has_u = ref false and has_r = ref false in
+  let rec scan = function
+    | True | False | Lbl _ | Enabled _ | Not _ -> ()
+    | And (a, b) | Or (a, b) -> scan a; scan b
+    | Next g -> scan g
+    | Until (a, b) ->
+        has_u := true;
+        scan a;
+        scan b
+    | Release (a, b) ->
+        has_r := true;
+        scan a;
+        scan b
+  in
+  scan (nnf f);
+  match (!has_u, !has_r) with
+  | false, false -> Bounded
+  | false, true -> Safety
+  | true, false -> Cosafety
+  | true, true -> General
+
+let cls_name = function
+  | Bounded -> "bounded"
+  | Safety -> "safety"
+  | Cosafety -> "cosafety"
+  | General -> "general"

@@ -1,0 +1,77 @@
+(** Linear temporal logic over transition labels.
+
+    Formulas are interpreted over the {e runs} of a {!Mc.System.S}: infinite
+    sequences of transitions.  Position [i] of a run carries both the label
+    of the [i]-th transition and the state it was taken from, so two kinds
+    of atoms exist:
+
+    - {!Lbl} atoms hold of the label taken at the position — the
+      action-based reading used for requirements over message traces
+      ("a beat is delivered", "a loss occurs");
+    - {!Enabled} atoms hold of the source state, via its enabled labels —
+      the state-based reading that connects to {!Mc.Ctl}'s [Can] atoms.
+
+    Finite maximal runs (runs ending in a deadlock) are handled by the
+    checker's stutter-extension policy, see {!Check.stutter_policy}.
+
+    {b Atom identity.}  Atoms are identified by their [name] (per kind)
+    during the Büchi translation: two atoms of the same kind and name are
+    assumed to denote the same predicate.  Give semantically different
+    atoms different names. *)
+
+type 'l t =
+  | True
+  | False
+  | Lbl of string * ('l -> bool)
+      (** the label at this position satisfies the predicate *)
+  | Enabled of string * ('l -> bool)
+      (** some enabled transition of the state at this position satisfies
+          the predicate (false at deadlock states) *)
+  | Not of 'l t
+  | And of 'l t * 'l t
+  | Or of 'l t * 'l t
+  | Next of 'l t
+  | Until of 'l t * 'l t  (** strong until *)
+  | Release of 'l t * 'l t  (** dual of until *)
+
+(** {2 Constructors} *)
+
+val lbl : string -> ('l -> bool) -> 'l t
+val enabled : string -> ('l -> bool) -> 'l t
+val conj : 'l t list -> 'l t
+val disj : 'l t list -> 'l t
+val implies : 'l t -> 'l t -> 'l t
+val finally : 'l t -> 'l t  (** [F f = Until (True, f)] *)
+
+val globally : 'l t -> 'l t  (** [G f = Release (False, f)] *)
+
+val weak_until : 'l t -> 'l t -> 'l t
+(** [a W b = Release (b, Or (a, b))]: until without the obligation that
+    [b] ever happens. *)
+
+val infinitely_often : 'l t -> 'l t  (** [G (F f)] *)
+
+val eventually_always : 'l t -> 'l t  (** [F (G f)] *)
+
+val pp : Format.formatter -> 'l t -> unit
+
+(** {2 Normal form and classification} *)
+
+val nnf : 'l t -> 'l t
+(** Negation normal form: negations pushed inward until they apply only to
+    atoms, using the [Until]/[Release] and De Morgan dualities ([Next] is
+    self-dual — runs are infinite, by stutter extension if need be). *)
+
+type cls =
+  | Bounded  (** no [Until], no [Release] in NNF: a property of a fixed
+                 number of initial steps *)
+  | Safety  (** no [Until] in NNF: refutable by a finite prefix *)
+  | Cosafety  (** no [Release] in NNF: witnessable by a finite prefix *)
+  | General  (** both [Until] and [Release] occur: genuinely reactive *)
+
+val classify : 'l t -> cls
+(** Syntactic (past-free) safety/liveness classification of the NNF.  The
+    classes are sound, not complete: a [General] formula may still be
+    semantically a safety property. *)
+
+val cls_name : cls -> string

@@ -62,6 +62,79 @@ let reachable t =
   dfs t.initial;
   seen
 
+let predecessors t =
+  let pred = Array.make t.num_states [] in
+  for i = Array.length t.trans - 1 downto 0 do
+    let s, _, s' = t.trans.(i) in
+    pred.(s') <- s :: pred.(s')
+  done;
+  pred
+
+(* Tarjan, iterative: an explicit work stack of (state, next-successor
+   cursor) frames replaces the recursion, so deep graphs (long BFS chains
+   of product spaces) cannot overflow the OCaml stack. *)
+let scc t =
+  let n = t.num_states in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let comp = Array.make n (-1) in
+  let tarjan_stack = ref [] in
+  let next_index = ref 0 in
+  let next_comp = ref 0 in
+  let succs s = Array.of_list t.succ.(s) in
+  for root = 0 to n - 1 do
+    if index.(root) < 0 then begin
+      (* frames: (state, successor array, cursor) *)
+      let frames = ref [ (root, succs root, ref 0) ] in
+      index.(root) <- !next_index;
+      lowlink.(root) <- !next_index;
+      incr next_index;
+      tarjan_stack := root :: !tarjan_stack;
+      on_stack.(root) <- true;
+      while !frames <> [] do
+        match !frames with
+        | [] -> ()
+        | (s, edges, cursor) :: rest ->
+            if !cursor < Array.length edges then begin
+              let _, _, s' = t.trans.(edges.(!cursor)) in
+              incr cursor;
+              if index.(s') < 0 then begin
+                index.(s') <- !next_index;
+                lowlink.(s') <- !next_index;
+                incr next_index;
+                tarjan_stack := s' :: !tarjan_stack;
+                on_stack.(s') <- true;
+                frames := (s', succs s', ref 0) :: !frames
+              end
+              else if on_stack.(s') then
+                lowlink.(s) <- min lowlink.(s) index.(s')
+            end
+            else begin
+              frames := rest;
+              (match rest with
+              | (parent, _, _) :: _ ->
+                  lowlink.(parent) <- min lowlink.(parent) lowlink.(s)
+              | [] -> ());
+              if lowlink.(s) = index.(s) then begin
+                let rec pop () =
+                  match !tarjan_stack with
+                  | [] -> ()
+                  | v :: vs ->
+                      tarjan_stack := vs;
+                      on_stack.(v) <- false;
+                      comp.(v) <- !next_comp;
+                      if v <> s then pop ()
+                in
+                pop ();
+                incr next_comp
+              end
+            end
+      done
+    end
+  done;
+  (!next_comp, comp)
+
 let restrict_to_reachable t =
   let keep = reachable t in
   let map = Array.make t.num_states (-1) in

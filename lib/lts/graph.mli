@@ -45,6 +45,20 @@ val deadlocks : 'l t -> int list
 val reachable : 'l t -> bool array
 (** [reachable lts] marks the states reachable from the initial state. *)
 
+val predecessors : 'l t -> int list array
+(** [predecessors lts] is the reverse-edge table: entry [s'] lists the
+    sources of transitions into [s'] (one entry per transition, so a state
+    with two edges into [s'] appears twice), in transition order. *)
+
+val scc : 'l t -> int * int array
+(** [scc lts] computes the strongly connected components (Tarjan's
+    algorithm, iterative).  Returns [(count, comp)] where [comp.(s)] is the
+    component index of state [s], in [0 .. count - 1].  Components are
+    numbered in completion order, which is reverse topological: for every
+    transition [s -> s'] with [comp.(s) <> comp.(s')], [comp.(s') <
+    comp.(s)].  All states are covered, reachable from the initial state or
+    not. *)
+
 val restrict_to_reachable : 'l t -> 'l t * int array
 (** Drop unreachable states.  Returns the restricted LTS together with the
     renumbering map [old_index -> new_index] ([-1] for dropped states). *)

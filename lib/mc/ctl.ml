@@ -35,18 +35,10 @@ let rec pp ppf = function
   | EU (a, b) -> Format.fprintf ppf "E[%a U %a]" pp a pp b
   | AU (a, b) -> Format.fprintf ppf "A[%a U %a]" pp a pp b
 
-(* Predecessor lists, shared across the recursive evaluation. *)
-let predecessors g =
-  let n = Lts.Graph.num_states g in
-  let pred = Array.make n [] in
-  Lts.Graph.fold_transitions
-    (fun s _ s' () -> pred.(s') <- s :: pred.(s'))
-    g ();
-  pred
-
 let eval g formula =
   let n = Lts.Graph.num_states g in
-  let pred = lazy (predecessors g) in
+  (* Reverse-edge table, shared across the recursive evaluation. *)
+  let pred = lazy (Lts.Graph.predecessors g) in
   (* EX over a set: states with some successor in the set. *)
   let ex set =
     let out = Array.make n false in

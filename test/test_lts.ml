@@ -245,6 +245,85 @@ let prop_weak_trace_reduction_equivalent =
       Lts.Equiv.weak_trace_equivalent ~hidden g
         (Lts.Minimize.weak_trace ~hidden g))
 
+(* --- reverse edges and strongly connected components --- *)
+
+let test_predecessors () =
+  let g = mk diamond in
+  let preds = Lts.Graph.predecessors g in
+  check Alcotest.(list int) "into 0" [] preds.(0);
+  check Alcotest.(list int) "into 1" [ 0 ] preds.(1);
+  check Alcotest.(list int) "into 3" [ 1; 2 ] preds.(3);
+  (* one entry per transition: parallel edges appear twice *)
+  let m = mk ~n:2 [ (0, "a", 1); (0, "b", 1) ] in
+  check Alcotest.(list int) "multi-edge" [ 0; 0 ] (Lts.Graph.predecessors m).(1)
+
+let test_scc_basic () =
+  (* A 3-cycle feeding a deadlock state, plus an unreachable state: three
+     components, numbered in reverse topological order. *)
+  let g =
+    mk ~n:5 [ (0, "a", 1); (1, "b", 2); (2, "c", 0); (2, "d", 3) ]
+  in
+  let count, comp = Lts.Graph.scc g in
+  check Alcotest.int "count" 3 count;
+  check Alcotest.bool "cycle is one component" true
+    (comp.(0) = comp.(1) && comp.(1) = comp.(2));
+  check Alcotest.bool "sink separate" true (comp.(3) <> comp.(0));
+  check Alcotest.bool "unreachable covered" true
+    (comp.(4) <> comp.(0) && comp.(4) <> comp.(3));
+  (* reverse topological: the sink's component completes first *)
+  check Alcotest.bool "reverse topological" true (comp.(3) < comp.(0))
+
+(* Oracle: mutual reachability by transitive closure. *)
+let naive_reach n edges =
+  let r = Array.make_matrix n n false in
+  for i = 0 to n - 1 do
+    r.(i).(i) <- true
+  done;
+  List.iter (fun (u, _, v) -> r.(u).(v) <- true) edges;
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if r.(i).(k) && r.(k).(j) then r.(i).(j) <- true
+      done
+    done
+  done;
+  r
+
+let prop_scc_is_mutual_reachability =
+  QCheck.Test.make ~name:"scc partition = mutual reachability" ~count:200
+    random_lts (fun (n, edges) ->
+      let g = Lts.Graph.make ~num_states:n ~initial:0 edges in
+      let _, comp = Lts.Graph.scc g in
+      let r = naive_reach n edges in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if (comp.(i) = comp.(j)) <> (r.(i).(j) && r.(j).(i)) then ok := false
+        done
+      done;
+      (* and the numbering is reverse topological *)
+      List.iter
+        (fun (u, _, v) -> if comp.(u) <> comp.(v) && comp.(v) >= comp.(u) then ok := false)
+        edges;
+      !ok)
+
+let prop_predecessors_invert_successors =
+  QCheck.Test.make ~name:"predecessors is the reverse-edge table" ~count:200
+    random_lts (fun (n, edges) ->
+      let g = Lts.Graph.make ~num_states:n ~initial:0 edges in
+      let preds = Lts.Graph.predecessors g in
+      let expected = Array.make n 0 in
+      List.iter (fun (_, _, v) -> expected.(v) <- expected.(v) + 1) edges;
+      let sorted l = List.sort compare l in
+      Array.for_all (fun b -> b)
+        (Array.init n (fun v ->
+             List.length preds.(v) = expected.(v)
+             && sorted preds.(v)
+                = sorted
+                    (List.filter_map
+                       (fun (u, _, v') -> if v' = v then Some u else None)
+                       edges))))
+
 let tests =
   ( "lts",
     [
@@ -276,4 +355,8 @@ let tests =
       Alcotest.test_case "weak equivalence" `Quick test_equiv_weak;
       QCheck_alcotest.to_alcotest prop_quotient_bisimilar;
       QCheck_alcotest.to_alcotest prop_weak_trace_reduction_equivalent;
+      Alcotest.test_case "predecessors" `Quick test_predecessors;
+      Alcotest.test_case "scc basics" `Quick test_scc_basic;
+      QCheck_alcotest.to_alcotest prop_scc_is_mutual_reachability;
+      QCheck_alcotest.to_alcotest prop_predecessors_invert_successors;
     ] )
