@@ -1,6 +1,6 @@
 DUNE ?= dune
 
-.PHONY: all build test bench bench-parallel faults lint ltl clean fmt
+.PHONY: all build test bench bench-parallel faults lint ltl por clean fmt
 
 all: build
 
@@ -41,6 +41,18 @@ ltl:
 	$(DUNE) exec bin/hbltl.exe -- check R2 -v binary --fixed --json > _build/hbltl-1.json
 	$(DUNE) exec bin/hbltl.exe -- check R2 -v binary --fixed --json > _build/hbltl-2.json
 	cmp _build/hbltl-1.json _build/hbltl-2.json
+
+# Partial-order-reduction gate: the qcheck parity harness (reduced and
+# full explorations agree on monitor and LTL verdicts, reduced
+# counterexamples replay, reduced LTS weak-trace equivalent), then the
+# six-variant smoke: every requirement verdict identical full vs
+# reduced, at least one variant at least halved, JSON byte-identical.
+por:
+	$(DUNE) exec test/main.exe -- test por
+	$(DUNE) exec bin/hbverify.exe -- pa-smoke
+	$(DUNE) exec bin/hbverify.exe -- pa-smoke --json > _build/hbpor-1.json
+	$(DUNE) exec bin/hbverify.exe -- pa-smoke --json > _build/hbpor-2.json
+	cmp _build/hbpor-1.json _build/hbpor-2.json
 
 # Just the sequential-vs-parallel exploration comparison.
 bench-parallel:

@@ -163,6 +163,61 @@ let time f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
+(* ------------------------------------------------------------------ *)
+(* Part 1c: partial-order reduction — full vs ample-set state counts    *)
+(* ------------------------------------------------------------------ *)
+
+(* One measurement point per shipped PA variant; static also gets the
+   two-participant instance, the genuinely concurrent configuration
+   where the reduction passes 4x. *)
+let por_points =
+  [
+    (H.Pa_models.Binary, 1, 2, 4);
+    (H.Pa_models.Revised, 1, 2, 4);
+    (H.Pa_models.Two_phase, 1, 2, 4);
+    (H.Pa_models.Static, 1, 2, 4);
+    (H.Pa_models.Static, 2, 2, 4);
+    (H.Pa_models.Expanding, 1, 2, 4);
+    (H.Pa_models.Dynamic, 1, 2, 4);
+  ]
+
+let por_report () =
+  Format.printf
+    "@.=== partial-order reduction: full vs ample-set exploration ===@.@.";
+  let rows =
+    List.map
+      (fun (v, n, tmin, tmax) ->
+        let params = H.Params.make ~n ~tmin ~tmax () in
+        let full, t_full = time (fun () -> H.Pa_verify.explore v params) in
+        let red, t_red =
+          time (fun () -> H.Pa_verify.explore ~reduce:true v params)
+        in
+        let ratio =
+          float_of_int full.H.Pa_verify.states
+          /. float_of_int red.H.Pa_verify.states
+        in
+        Format.printf
+          "PA %-10s n=%d (%d,%d): full %8d states %8d trans %7.2fs | \
+           reduced %8d states %8d trans %7.2fs | %.2fx@."
+          (H.Pa_models.variant_name v)
+          n tmin tmax full.H.Pa_verify.states full.H.Pa_verify.transitions
+          t_full red.H.Pa_verify.states red.H.Pa_verify.transitions t_red
+          ratio;
+        (v, n, tmin, tmax, full, red, ratio))
+      por_points
+  in
+  (* machine-readable summary (deterministic: timings excluded) *)
+  print_string "{\"tool\":\"bench\",\"section\":\"por\",\"rows\":[";
+  List.iteri
+    (fun k (v, n, tmin, tmax, full, red, ratio) ->
+      if k > 0 then print_string ",";
+      Printf.printf
+        "{\"variant\":\"%s\",\"n\":%d,\"tmin\":%d,\"tmax\":%d,\"full_states\":%d,\"reduced_states\":%d,\"reduction_ratio\":%.2f}"
+        (H.Pa_models.variant_name v)
+        n tmin tmax full.H.Pa_verify.states red.H.Pa_verify.states ratio)
+    rows;
+  print_string "]}\n"
+
 let parallel_report () =
   Format.printf
     "@.=== parallel exploration: sequential vs 2/4 domains ===@.@.";
@@ -251,6 +306,17 @@ let bench_tests =
                (H.Pa_verify.check H.Pa_models.Binary
                   (H.Params.make ~tmin:10 ~tmax:10 ())
                   H.Requirements.R2)));
+      (* Ample-set reduction: per-state overhead vs states saved. *)
+      Test.make ~name:"por/binary-full-explore(2,4)"
+        (Staged.stage (fun () ->
+             ignore
+               (H.Pa_verify.explore H.Pa_models.Binary
+                  (H.Params.make ~tmin:2 ~tmax:4 ()))));
+      Test.make ~name:"por/binary-reduced-explore(2,4)"
+        (Staged.stage (fun () ->
+             ignore
+               (H.Pa_verify.explore ~reduce:true H.Pa_models.Binary
+                  (H.Params.make ~tmin:2 ~tmax:4 ()))));
       (* Substrate microbenchmarks. *)
       Test.make ~name:"ta/statespace-binary(1,10)"
         (Staged.stage (fun () ->
@@ -396,10 +462,12 @@ let () =
   let bench_only = has "--bench-only" in
   let tables_only = has "--tables-only" in
   if has "--parallel-only" then parallel_report ()
+  else if has "--por-only" then por_report ()
   else begin
     if not bench_only then regenerate ();
     if not tables_only then begin
       parallel_report ();
+      por_report ();
       run_benchmarks ()
     end
   end

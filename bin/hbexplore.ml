@@ -91,21 +91,42 @@ let stats_cmd =
       $ monitors_arg $ jobs_arg $ exploration_stats_arg)
 
 let pa_stats_cmd =
-  let run tmin tmax n =
+  let reduce_arg =
+    Arg.(
+      value & flag
+      & info [ "reduce" ]
+          ~doc:"Also explore the ample-set reduced state space and report \
+                the reduction ratio.")
+  in
+  let run tmin tmax n reduce =
     let params = H.Params.make ~n ~tmin ~tmax () in
     List.iter
       (fun v ->
-        let count = H.Pa_verify.state_count v params in
-        Format.printf "PA %-10s %a: %d states@."
-          (H.Pa_models.variant_name v)
-          H.Params.pp params count)
+        let full = H.Pa_verify.explore v params in
+        if reduce then
+          let red = H.Pa_verify.explore ~reduce:true v params in
+          Format.printf
+            "PA %-10s %a: %d states, %d transitions; reduced: %d states, %d \
+             transitions (%.2fx)@."
+            (H.Pa_models.variant_name v)
+            H.Params.pp params full.H.Pa_verify.states
+            full.H.Pa_verify.transitions red.H.Pa_verify.states
+            red.H.Pa_verify.transitions
+            (float_of_int full.H.Pa_verify.states
+            /. float_of_int red.H.Pa_verify.states)
+        else
+          Format.printf "PA %-10s %a: %d states, %d transitions@."
+            (H.Pa_models.variant_name v)
+            H.Params.pp params full.H.Pa_verify.states
+            full.H.Pa_verify.transitions)
       [ H.Pa_models.Binary; H.Pa_models.Revised; H.Pa_models.Two_phase;
         H.Pa_models.Static; H.Pa_models.Expanding; H.Pa_models.Dynamic ]
   in
   Cmd.v
     (Cmd.info "pa-stats"
-       ~doc:"Reachable state spaces of the process-algebra models.")
-    Term.(const run $ tmin_arg $ tmax_arg $ n_arg)
+       ~doc:"Reachable state spaces of the process-algebra models, \
+             optionally with the ample-set reduction for comparison.")
+    Term.(const run $ tmin_arg $ tmax_arg $ n_arg $ reduce_arg)
 
 let dot_cmd =
   let run which tmin tmax =

@@ -36,7 +36,14 @@ let lint_params = H.Params.make ~n:2 ~tmin:4 ~tmax:10 ()
 
 let run_one name kind : Lint.Report.t =
   match kind with
-  | Pa v -> Lint.Pa.analyze ~model:name (H.Pa_models.build v lint_params)
+  | Pa v ->
+      (* The PA reports also carry the dependence analysis the ample-set
+         reducer is built on (PA-POR info entries). *)
+      let spec = H.Pa_models.build v lint_params in
+      let r = Lint.Pa.analyze ~model:name spec in
+      Lint.Report.make ~model:name
+        ~diags:(r.Lint.Report.diags @ Por.diagnostics (Por.analyze spec))
+        ~stats:r.Lint.Report.stats
   | Ta (v, fixed) ->
       Lint.Ta_model.analyze ~model:name
         (H.Ta_models.build ~fixed ~with_r1_monitors:true v lint_params)
@@ -45,15 +52,25 @@ let run_one name kind : Lint.Report.t =
    "MODEL/CODE" (waive it for one model).  Waived diagnostics stay in the
    report, demoted to info, and never gate. *)
 let allow_of specs model (d : Lint.Report.diag) =
-  List.exists
-    (fun spec ->
-      match String.index_opt spec '/' with
-      | None -> spec = d.Lint.Report.code
-      | Some i ->
-          String.sub spec 0 i = model
-          && String.sub spec (i + 1) (String.length spec - i - 1)
-             = d.Lint.Report.code)
-    specs
+  List.exists (fun spec -> Lint.Report.spec_matches spec ~model d) specs
+
+(* Waivers that matched nothing are themselves findings: a stale --allow
+   hides future regressions of the code it names.  Reported as a
+   synthetic model so they render and gate like any other warning. *)
+let unused_waivers allows reports =
+  match Lint.Report.unused_allows allows reports with
+  | [] -> []
+  | unused ->
+      [
+        Lint.Report.make ~model:"(allowlist)"
+          ~diags:
+            (List.map
+               (fun spec ->
+                 Lint.Report.diag ~code:"UNUSED-WAIVER" ~where:spec
+                   "allow entry matched no diagnostic in this run")
+               unused)
+          ~stats:Lint.Report.no_stats;
+      ]
 
 let models_arg =
   Arg.(
@@ -115,6 +132,7 @@ let run models json strict verbose allows list =
               Lint.Report.waive (allow_of allows) (run_one name kind))
             selected
         in
+        let reports = reports @ unused_waivers allows reports in
         if json then print_string (Lint.Report.to_json reports)
         else
           List.iter

@@ -109,36 +109,72 @@ let step_string = function
   | Ltl.Check.Step (Ta.Semantics.Act a) -> a
   | Ltl.Check.Stutter -> "(stutter)"
 
-let json_steps steps =
+let pa_step_string = function
+  | Ltl.Check.Step l -> Format.asprintf "%a" Proc.Semantics.pp_label l
+  | Ltl.Check.Stutter -> "(stutter)"
+
+let json_steps to_string steps =
   "["
   ^ String.concat ","
-      (List.map (fun s -> "\"" ^ json_escape (step_string s) ^ "\"") steps)
+      (List.map (fun s -> "\"" ^ json_escape (to_string s) ^ "\"") steps)
   ^ "]"
 
-let verdict_json ~variant ~params ~fixed ~engine ~req ~formula verdict =
+(* State-space statistics of the model being checked (not of the Büchi
+   product): states, transitions, completeness, and — when the ample-set
+   reduction is on — the full-space size and the reduction ratio. *)
+let pa_stats_json ~reduce variant params =
+  let st = H.Pa_verify.explore ~reduce variant params in
+  let buf = Buffer.create 128 in
+  Printf.bprintf buf "{\"states\":%d,\"transitions\":%d,\"complete\":%b"
+    st.H.Pa_verify.states st.H.Pa_verify.transitions st.H.Pa_verify.complete;
+  if reduce then begin
+    let full = H.Pa_verify.explore ~reduce:false variant params in
+    Printf.bprintf buf ",\"full_states\":%d,\"reduction_ratio\":%.2f"
+      full.H.Pa_verify.states
+      (float_of_int full.H.Pa_verify.states
+      /. float_of_int st.H.Pa_verify.states)
+  end;
+  Buffer.add_string buf "}";
+  Buffer.contents buf
+
+let ta_stats_json ~fixed variant params =
+  let net = Ta.Semantics.compile (H.Ta_models.build ~fixed variant params) in
+  let space = Mc.Explore.space ~max_states:10_000_000 (Ta.Semantics.system net) in
+  Printf.sprintf "{\"states\":%d,\"transitions\":%d,\"complete\":%b}"
+    (Lts.Graph.num_states space.Mc.Explore.lts)
+    (Lts.Graph.num_transitions space.Mc.Explore.lts)
+    space.Mc.Explore.complete
+
+let verdict_json ~model ~variant ~params ~fixed ~reduce ~engine ~req ~formula
+    ~fairness_names ~stats ~to_string verdict =
   let open Printf in
   let buf = Buffer.create 256 in
-  bprintf buf "{\"tool\":\"hbltl\",\"variant\":\"%s\",\"tmin\":%d,\"tmax\":%d,"
+  bprintf buf
+    "{\"tool\":\"hbltl\",\"model\":\"%s\",\"variant\":\"%s\",\"tmin\":%d,\"tmax\":%d,"
+    model
     (H.Ta_models.variant_name variant)
     params.H.Params.tmin params.H.Params.tmax;
-  bprintf buf "\"n\":%d,\"fixed\":%b,\"requirement\":\"%s\",\"engine\":\"%s\","
-    params.H.Params.n fixed (H.Requirements.name req)
+  bprintf buf
+    "\"n\":%d,\"fixed\":%b,\"reduce\":%b,\"requirement\":\"%s\",\"engine\":\"%s\","
+    params.H.Params.n fixed reduce (H.Requirements.name req)
     (match engine with Ltl.Check.Ndfs -> "ndfs" | Ltl.Check.Scc -> "scc");
-  bprintf buf "\"formula\":\"%s\",\"fairness\":[%s]," (json_escape formula)
+  bprintf buf "\"formula\":\"%s\",\"fairness\":[%s],\"stats\":%s,"
+    (json_escape formula)
     (String.concat ","
-       (List.map
-          (fun (f : _ Ltl.Check.fairness) ->
-            "\"" ^ json_escape f.Ltl.Check.fname ^ "\"")
-          H.Requirements.live_fairness));
+       (List.map (fun n -> "\"" ^ json_escape n ^ "\"") fairness_names))
+    stats;
   (match verdict with
   | Ltl.Check.Holds -> bprintf buf "\"verdict\":\"holds\"}"
   | Ltl.Check.Unknown n ->
       bprintf buf "\"verdict\":\"unknown\",\"states\":%d}" n
   | Ltl.Check.Refuted l ->
       bprintf buf "\"verdict\":\"refuted\",\"lasso\":{\"prefix\":%s,\"cycle\":%s}}"
-        (json_steps l.Ltl.Check.prefix)
-        (json_steps l.Ltl.Check.cycle));
+        (json_steps to_string l.Ltl.Check.prefix)
+        (json_steps to_string l.Ltl.Check.cycle));
   Buffer.contents buf
+
+let fairness_names fs =
+  List.map (fun (f : _ Ltl.Check.fairness) -> f.Ltl.Check.fname) fs
 
 (* ------------------------------------------------------------------ *)
 (* check                                                               *)
@@ -149,13 +185,81 @@ let run_check variant params fixed engine req =
     Format.asprintf "%a" Ltl.Formula.pp
       (H.Requirements.live_formula variant params req) )
 
+(* The process-algebra path (--pa): same requirements, read as LTL over
+   the PA action names, with the ample-set reduction available because
+   those formulas are stutter-invariant. *)
+let run_pa_check variant params reduce engine json req =
+  let pv =
+    match H.Pa_models.of_ta variant with
+    | Some pv -> pv
+    | None -> assert false (* of_ta is total *)
+  in
+  let verdict = H.Pa_verify.check_live ~engine ~reduce pv params req in
+  let formula =
+    Format.asprintf "%a" Ltl.Formula.pp
+      (H.Requirements.live_formula_pa pv params req)
+  in
+  if json then
+    print_endline
+      (verdict_json ~model:"pa" ~variant ~params ~fixed:false ~reduce ~engine
+         ~req ~formula
+         ~fairness_names:(fairness_names H.Requirements.live_fairness_pa)
+         ~stats:(pa_stats_json ~reduce pv params)
+         ~to_string:pa_step_string verdict)
+  else begin
+    Format.printf "PA %s %a %s-live (%s engine%s)@."
+      (H.Pa_models.variant_name pv)
+      H.Params.pp params (H.Requirements.name req)
+      (match engine with Ltl.Check.Ndfs -> "ndfs" | Ltl.Check.Scc -> "scc")
+      (if reduce then ", reduced" else "");
+    Format.printf "property: %s@." (H.Requirements.live_description req);
+    Format.printf "formula:  %s@." formula;
+    match verdict with
+    | Ltl.Check.Holds -> Format.printf "verdict:  HOLDS@."
+    | Ltl.Check.Unknown st ->
+        Format.printf "verdict:  UNKNOWN (state bound hit at %d)@." st
+    | Ltl.Check.Refuted lasso ->
+        Format.printf "verdict:  REFUTED@.@.";
+        List.iter
+          (fun s -> Format.printf "  %s@." (pa_step_string s))
+          lasso.Ltl.Check.prefix;
+        Format.printf "  -- cycle repeats forever --@.";
+        List.iter
+          (fun s -> Format.printf "  %s@." (pa_step_string s))
+          lasso.Ltl.Check.cycle
+  end;
+  verdict
+
 let check_cmd =
-  let run variant tmin tmax n fixed engine json msc req =
+  let run variant tmin tmax n fixed pa reduce engine json msc req =
     let params = H.Params.make ~n ~tmin ~tmax () in
+    if pa && fixed then begin
+      Format.eprintf
+        "hbltl: --fixed applies to the timed-automata models only (the PA \
+         encoding has no fixed timing); drop --fixed or --pa@.";
+      exit 2
+    end;
+    if reduce && not pa then begin
+      Format.eprintf
+        "hbltl: --reduce requires --pa (the ample-set reduction works on \
+         the process-algebra models)@.";
+      exit 2
+    end;
+    if pa then begin
+      match run_pa_check variant params reduce engine json req with
+      | Ltl.Check.Holds -> ()
+      | Ltl.Check.Refuted _ -> exit 1
+      | Ltl.Check.Unknown _ -> exit 2
+    end
+    else
     let verdict, formula = run_check variant params fixed engine req in
     if json then
       print_endline
-        (verdict_json ~variant ~params ~fixed ~engine ~req ~formula verdict)
+        (verdict_json ~model:"ta" ~variant ~params ~fixed ~reduce:false
+           ~engine ~req ~formula
+           ~fairness_names:(fairness_names H.Requirements.live_fairness)
+           ~stats:(ta_stats_json ~fixed variant params)
+           ~to_string:step_string verdict)
     else begin
       Format.printf "%s%s %a %s-live (%s engine)@."
         (H.Ta_models.variant_name variant)
@@ -207,12 +311,26 @@ let check_cmd =
       & info [ "msc" ]
           ~doc:"Render a refutation lasso as a message sequence chart.")
   in
+  let pa_arg =
+    Arg.(
+      value & flag
+      & info [ "pa" ]
+          ~doc:"Check the process-algebra encoding instead of the \
+                timed-automata one (incompatible with --fixed).")
+  in
+  let reduce_arg =
+    Arg.(
+      value & flag
+      & info [ "reduce" ]
+          ~doc:"With --pa: explore an ample-set reduced state space \
+                (sound for these stutter-invariant formulas).")
+  in
   Cmd.v
     (Cmd.info "check"
        ~doc:"Check the liveness formulation of one requirement.")
     Term.(
       const run $ variant_arg $ tmin_arg $ tmax_arg $ n_arg $ fixed_arg
-      $ engine_arg $ json_arg $ msc_arg $ req_arg)
+      $ pa_arg $ reduce_arg $ engine_arg $ json_arg $ msc_arg $ req_arg)
 
 (* ------------------------------------------------------------------ *)
 (* table                                                               *)
@@ -315,10 +433,26 @@ let smoke_cmd =
       let verdict, formula =
         run_check variant params false Ltl.Check.Scc req
       in
-      verdict_json ~variant ~params ~fixed:false ~engine:Ltl.Check.Scc ~req
-        ~formula verdict
+      verdict_json ~model:"ta" ~variant ~params ~fixed:false ~reduce:false
+        ~engine:Ltl.Check.Scc ~req ~formula
+        ~fairness_names:(fairness_names H.Requirements.live_fairness)
+        ~stats:(ta_stats_json ~fixed:false variant (race_params variant))
+        ~to_string:step_string verdict
     in
     expect "json verdict reproduces byte-identically" (render () = render ());
+    (* the ample-set reduction must not change PA liveness verdicts *)
+    let pa_params = H.Params.make ~tmin:2 ~tmax:2 () in
+    List.iter
+      (fun req ->
+        let full = H.Pa_verify.check_live H.Pa_models.Binary pa_params req in
+        let red =
+          H.Pa_verify.check_live ~reduce:true H.Pa_models.Binary pa_params req
+        in
+        expect
+          (Printf.sprintf "pa binary %s-live: reduced agrees with full"
+             (H.Requirements.name req))
+          (Ltl.Check.holds full = Ltl.Check.holds red))
+      H.Requirements.all;
     (* show one lasso for the log *)
     (match
        H.Verify.check_live ~fixed:false ~engine:Ltl.Check.Scc H.Ta_models.Binary

@@ -209,6 +209,183 @@ let worst_cmd =
        ~doc:"Measure the exact worst-case detection delay on the model              (binary search over the watchdog bound).")
     Term.(const run $ variant_arg $ tmin_arg $ tmax_arg $ fixed_arg)
 
+(* ------------------------------------------------------------------ *)
+(* process-algebra checks (with optional partial-order reduction)      *)
+(* ------------------------------------------------------------------ *)
+
+let pa_variants =
+  [ H.Pa_models.Binary; H.Pa_models.Revised; H.Pa_models.Two_phase;
+    H.Pa_models.Static; H.Pa_models.Expanding; H.Pa_models.Dynamic ]
+
+let pa_variant_conv =
+  let parse s =
+    match
+      List.find_opt (fun v -> H.Pa_models.variant_name v = s) pa_variants
+    with
+    | Some v -> Ok v
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown variant %s (expected one of: %s)" s
+                (String.concat ", " (List.map H.Pa_models.variant_name pa_variants))))
+  in
+  Arg.conv
+    (parse, fun ppf v -> Format.pp_print_string ppf (H.Pa_models.variant_name v))
+
+let pa_variant_arg =
+  Arg.(
+    value
+    & opt pa_variant_conv H.Pa_models.Binary
+    & info [ "v"; "variant" ] ~docv:"VARIANT"
+        ~doc:"Protocol variant: binary, revised, two-phase, static, \
+              expanding or dynamic.")
+
+let reduce_arg =
+  Arg.(
+    value & flag
+    & info [ "reduce" ]
+        ~doc:"Explore an ample-set reduced state space (sound partial-order \
+              reduction; same verdicts, fewer states).")
+
+let json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit the deterministic JSON verdict.")
+
+(* Exploration statistics of the (possibly reduced) state space as a
+   deterministic JSON object; with [reduce] also the full-space size and
+   the reduction ratio, so CI logs show what the reduction bought. *)
+let stats_json ~reduce variant params =
+  let st = H.Pa_verify.explore ~reduce variant params in
+  let buf = Buffer.create 128 in
+  Printf.bprintf buf "{\"states\":%d,\"transitions\":%d,\"complete\":%b"
+    st.H.Pa_verify.states st.H.Pa_verify.transitions st.H.Pa_verify.complete;
+  if reduce then begin
+    let full = H.Pa_verify.explore ~reduce:false variant params in
+    Printf.bprintf buf ",\"full_states\":%d,\"reduction_ratio\":%.2f"
+      full.H.Pa_verify.states
+      (float_of_int full.H.Pa_verify.states /. float_of_int st.H.Pa_verify.states)
+  end;
+  Buffer.add_string buf "}";
+  Buffer.contents buf
+
+let pa_check_cmd =
+  let run variant tmin tmax n reduce json req =
+    let params = H.Params.make ~n ~tmin ~tmax () in
+    let holds = H.Pa_verify.check ~reduce variant params req in
+    if json then
+      Printf.printf
+        "{\"tool\":\"hbverify\",\"model\":\"pa\",\"variant\":\"%s\",\"tmin\":%d,\"tmax\":%d,\"n\":%d,\"requirement\":\"%s\",\"reduce\":%b,\"verdict\":\"%s\",\"stats\":%s}\n"
+        (H.Pa_models.variant_name variant)
+        params.H.Params.tmin params.H.Params.tmax params.H.Params.n
+        (H.Requirements.name req) reduce
+        (if holds then "holds" else "violated")
+        (stats_json ~reduce variant params)
+    else
+      Format.printf "PA %s %a %s%s: %s@."
+        (H.Pa_models.variant_name variant)
+        H.Params.pp params (H.Requirements.name req)
+        (if reduce then " [reduced]" else "")
+        (if holds then "HOLDS" else "VIOLATED");
+    if not holds then exit 1
+  in
+  let req_arg =
+    Arg.(
+      required
+      & pos 0 (some req_conv) None
+      & info [] ~docv:"REQ" ~doc:"Requirement: R1, R2 or R3.")
+  in
+  Cmd.v
+    (Cmd.info "pa-check"
+       ~doc:"Model-check one requirement on a process-algebra model, \
+             optionally with ample-set partial-order reduction.")
+    Term.(
+      const run $ pa_variant_arg $ tmin_arg $ tmax_arg $ n_arg $ reduce_arg
+      $ json_arg $ req_arg)
+
+(* The soundness gate for `make por`: on every shipped variant, the
+   reduced and full explorations must give the same verdict for every
+   requirement.  Multi-party variants run at n = 1 except static (n = 2),
+   keeping the gate fast while still covering a genuinely concurrent
+   instance. *)
+let pa_smoke_cmd =
+  let smoke_params variant =
+    (* static gets a genuinely concurrent instance (n = 2, the point
+       where the reduction passes 2x) at a tmax the gate can afford *)
+    if variant = H.Pa_models.Static then H.Params.make ~n:2 ~tmin:2 ~tmax:3 ()
+    else H.Params.make ~n:1 ~tmin:2 ~tmax:4 ()
+  in
+  let run json =
+    let failures = ref 0 in
+    let rows =
+      List.map
+        (fun variant ->
+          let params = smoke_params variant in
+          let verdicts =
+            List.map
+              (fun req ->
+                let full = H.Pa_verify.check variant params req in
+                let red = H.Pa_verify.check ~reduce:true variant params req in
+                if full <> red then incr failures;
+                (req, full, red))
+              H.Requirements.all
+          in
+          let full = H.Pa_verify.explore ~reduce:false variant params in
+          let red = H.Pa_verify.explore ~reduce:true variant params in
+          if not (full.H.Pa_verify.complete && red.H.Pa_verify.complete) then
+            incr failures;
+          (variant, params, verdicts, full, red))
+        pa_variants
+    in
+    let ratio (full : H.Pa_verify.explore_stats) (red : H.Pa_verify.explore_stats) =
+      float_of_int full.H.Pa_verify.states /. float_of_int red.H.Pa_verify.states
+    in
+    if json then begin
+      print_string "{\"tool\":\"hbverify\",\"gate\":\"pa-smoke\",\"rows\":[";
+      List.iteri
+        (fun k (variant, params, verdicts, full, red) ->
+          if k > 0 then print_string ",";
+          Printf.printf
+            "{\"variant\":\"%s\",\"tmin\":%d,\"tmax\":%d,\"n\":%d,\"parity\":%b,\"full_states\":%d,\"reduced_states\":%d,\"reduction_ratio\":%.2f}"
+            (H.Pa_models.variant_name variant)
+            params.H.Params.tmin params.H.Params.tmax params.H.Params.n
+            (List.for_all (fun (_, f, r) -> f = r) verdicts)
+            full.H.Pa_verify.states red.H.Pa_verify.states (ratio full red))
+        rows;
+      Printf.printf "],\"failures\":%d}\n" !failures
+    end
+    else
+      List.iter
+        (fun (variant, params, verdicts, full, red) ->
+          Format.printf "PA %-10s %a " (H.Pa_models.variant_name variant)
+            H.Params.pp params;
+          List.iter
+            (fun (req, f, r) ->
+              Format.printf "%s %s  " (H.Requirements.name req)
+                (if f = r then "ok" else "VERDICT CHANGED"))
+            verdicts;
+          Format.printf "states %d -> %d (%.2fx)@." full.H.Pa_verify.states
+            red.H.Pa_verify.states (ratio full red))
+        rows;
+    (* the reduction must actually reduce: at least one shipped variant
+       at least halves its state count *)
+    let best =
+      List.fold_left
+        (fun acc (_, _, _, full, red) -> Float.max acc (ratio full red))
+        0. rows
+    in
+    if best < 2.0 then begin
+      Format.printf "FAILED: best reduction ratio %.2f < 2.0@." best;
+      incr failures
+    end;
+    if !failures > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "pa-smoke"
+       ~doc:"Partial-order-reduction gate: reduced and full explorations \
+             agree on every requirement verdict for all six \
+             process-algebra variants, and the reduction at least halves \
+             one of them.")
+    Term.(const run $ json_arg)
+
 let all_cmd =
   let run () =
     List.iter (print_variant_table ~fixed:false ~n:1) H.Ta_models.all_variants;
@@ -229,5 +406,5 @@ let () =
        (Cmd.group info
           [
             table1_cmd; table2_cmd; table_fixed_cmd; all_cmd; check_cmd;
-            cex_cmd; bounds_cmd; worst_cmd;
+            pa_check_cmd; pa_smoke_cmd; cex_cmd; bounds_cmd; worst_cmd;
           ]))

@@ -15,8 +15,12 @@ let name_in names (l : Proc.Semantics.label) =
 
 let is_tick (l : Proc.Semantics.label) = l = Proc.Semantics.Tick
 
+(* Each monitor is paired with its alphabet: the action names its
+   predicates observe, plus [tick] for the deadline monitors (their
+   clock is the global tick).  The alphabet is what the partial-order
+   reduction must keep visible for the verdict to carry over. *)
 let monitors variant (p : Params.t) req :
-    Proc.Semantics.label Mc.Monitor.t list =
+    (Proc.Semantics.label Mc.Monitor.t * string list) list =
   let ps = participants variant p in
   let joining = Pa_models.has_join variant in
   let loses = List.concat_map (Pa_models.act_lose variant) ps in
@@ -29,22 +33,26 @@ let monitors variant (p : Params.t) req :
          by a leave beat. *)
       List.map
         (fun i ->
-          let reset =
-            name_in
-              ([ Pa_models.act_beat_delivered_to_p0 i ]
-              @ if joining then [ Pa_models.act_join_delivered_to_p0 i ] else [])
+          let reset_names =
+            [ Pa_models.act_beat_delivered_to_p0 i ]
+            @ if joining then [ Pa_models.act_join_delivered_to_p0 i ] else []
           in
-          let ok =
-            name_in
-              ([ Pa_models.act_inactivate_nv_p0; Pa_models.act_crash_p0 ]
-              @ if variant = Pa_models.Dynamic then
-                  [ Pa_models.act_leave_delivered_to_p0 i ]
-                else [])
+          let ok_names =
+            [ Pa_models.act_inactivate_nv_p0; Pa_models.act_crash_p0 ]
+            @
+            if variant = Pa_models.Dynamic then
+              [ Pa_models.act_leave_delivered_to_p0 i ]
+            else []
           in
+          let reset = name_in reset_names and ok = name_in ok_names in
           let bound = 2 * p.Params.tmax in
-          if joining then
-            Mc.Monitor.deadline_after ~arm:reset ~tick:is_tick ~reset ~ok bound
-          else Mc.Monitor.deadline ~tick:is_tick ~reset ~ok bound)
+          let monitor =
+            if joining then
+              Mc.Monitor.deadline_after ~arm:reset ~tick:is_tick ~reset ~ok
+                bound
+            else Mc.Monitor.deadline ~tick:is_tick ~reset ~ok bound
+          in
+          (monitor, (Proc.Spec.tick_name :: reset_names) @ ok_names))
         ps
   | Requirements.R2 ->
       (* inactivate_nv_p[i] must be preceded by a loss or by an
@@ -64,8 +72,9 @@ let monitors variant (p : Params.t) req :
                     ])
                 ps
           in
-          Mc.Monitor.precedence ~fault:(name_in fault)
-            ~bad:(name_in [ Pa_models.act_inactivate_nv_pi i ]))
+          let bad = [ Pa_models.act_inactivate_nv_pi i ] in
+          ( Mc.Monitor.precedence ~fault:(name_in fault) ~bad:(name_in bad),
+            fault @ bad ))
         ps
   | Requirements.R3 ->
       (* inactivate_nv_p0 must be preceded by a loss or by any
@@ -77,9 +86,10 @@ let monitors variant (p : Params.t) req :
               [ Pa_models.act_crash_pi j; Pa_models.act_inactivate_nv_pi j ])
             ps
       in
+      let bad = [ Pa_models.act_inactivate_nv_p0 ] in
       [
-        Mc.Monitor.precedence ~fault:(name_in fault)
-          ~bad:(name_in [ Pa_models.act_inactivate_nv_p0 ]);
+        ( Mc.Monitor.precedence ~fault:(name_in fault) ~bad:(name_in bad),
+          fault @ bad );
       ]
 
 (* The lint pass's static state bound, as an [expected_states] table
@@ -89,15 +99,20 @@ let expected_of spec =
   | Lint.Interval.Finite n -> Some n
   | Lint.Interval.Unbounded -> None
 
-let check ?(max_states = default_max) ?(domains = 1) variant params req =
+let check ?(max_states = default_max) ?(domains = 1) ?(reduce = false)
+    variant params req =
   let spec = Pa_models.build variant params in
   let sys = Proc.Semantics.system spec in
   let expected_states = expected_of spec in
+  let analysis = if reduce then Some (Por.analyze spec) else None in
   List.for_all
-    (fun monitor ->
+    (fun (monitor, alphabet) ->
+      let reduction =
+        Option.map (fun a -> Por.reduced_system ~alphabet a) analysis
+      in
       match
-        Mc.Safety.check_monitor ~max_states ?expected_states ~domains sys
-          monitor
+        Mc.Safety.check_monitor ~max_states ?expected_states ~domains
+          ?reduction sys monitor
       with
       | Mc.Safety.Holds -> true
       | Mc.Safety.Violated _ -> false
@@ -108,13 +123,48 @@ let check ?(max_states = default_max) ?(domains = 1) variant params req =
             (Requirements.name req))
     (monitors variant params req)
 
-let state_count ?(max_states = default_max) ?(domains = 1) variant params =
+let state_count ?(max_states = default_max) ?(domains = 1) ?(reduce = false)
+    variant params =
   let spec = Pa_models.build variant params in
   let expected_states = expected_of spec in
   let count, complete =
-    let sys = Proc.Semantics.system spec in
-    if domains <= 1 then Mc.Explore.count ~max_states ?expected_states sys
-    else Mc.Pexplore.count ~max_states ?expected_states ~domains sys
+    if reduce then
+      Mc.Explore.count ~max_states ?expected_states
+        (Por.reduced_system (Por.analyze spec))
+    else
+      let sys = Proc.Semantics.system spec in
+      if domains <= 1 then Mc.Explore.count ~max_states ?expected_states sys
+      else Mc.Pexplore.count ~max_states ?expected_states ~domains sys
   in
   if not complete then failwith "Pa_verify.state_count: state bound exceeded";
   count
+
+type explore_stats = { states : int; transitions : int; complete : bool }
+
+let explore ?(max_states = default_max) ?(reduce = false) variant params =
+  let spec = Pa_models.build variant params in
+  let expected_states = expected_of spec in
+  let sys =
+    if reduce then Por.reduced_system (Por.analyze spec)
+    else Proc.Semantics.system spec
+  in
+  let space = Mc.Explore.space ~max_states ?expected_states sys in
+  {
+    states = Lts.Graph.num_states space.Mc.Explore.lts;
+    transitions = Lts.Graph.num_transitions space.Mc.Explore.lts;
+    complete = space.Mc.Explore.complete;
+  }
+
+let check_live ?(engine = Ltl.Check.Ndfs) ?(max_states = default_max)
+    ?(reduce = false) variant params req =
+  let spec = Pa_models.build variant params in
+  let sys = Proc.Semantics.system spec in
+  let reduction =
+    if reduce then
+      let a = Por.analyze spec in
+      Some (fun ~alphabet -> Por.reduction a ~alphabet)
+    else None
+  in
+  Ltl.Check.check ~engine ~fairness:Requirements.live_fairness_pa ?reduction
+    ~max_states sys
+    (Requirements.live_formula_pa variant params req)

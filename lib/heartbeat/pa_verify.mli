@@ -14,14 +14,45 @@
 val check :
   ?max_states:int ->
   ?domains:int ->
+  ?reduce:bool ->
   Pa_models.variant ->
   Params.t ->
   Requirements.requirement ->
   bool
 (** [check variant params req] model-checks [req] on the process-algebra
     model; [true] means the requirement holds.  [domains] (default 1)
-    selects the sequential or parallel exploration engine.
+    selects the sequential or parallel exploration engine.  [reduce]
+    (default false) explores an ample-set reduced sub-structure instead
+    ({!Por}), with each monitor's alphabet kept visible; the verdict is
+    unchanged, counterexample traces may schedule independent actions
+    differently, and the engine is forced sequential.
     @raise Failure if the state bound (default 4 million) is exceeded. *)
 
-val state_count : ?max_states:int -> ?domains:int -> Pa_models.variant -> Params.t -> int
-(** Size of the reachable state space (for tests and benchmarks). *)
+val state_count :
+  ?max_states:int -> ?domains:int -> ?reduce:bool -> Pa_models.variant -> Params.t -> int
+(** Size of the reachable state space (for tests and benchmarks); with
+    [reduce], of the reduced sub-structure. *)
+
+type explore_stats = { states : int; transitions : int; complete : bool }
+
+val explore :
+  ?max_states:int -> ?reduce:bool -> Pa_models.variant -> Params.t -> explore_stats
+(** Reachable states and transitions.  With [reduce] the ample-set
+    partial-order reduction ({!Por}) with an empty property alphabet is
+    applied, so the counts are those of the reduced sub-structure;
+    [complete = false] means the bound was hit (the counts are then the
+    deterministic truncation of {!Mc.Explore.space}). *)
+
+val check_live :
+  ?engine:Ltl.Check.engine ->
+  ?max_states:int ->
+  ?reduce:bool ->
+  Pa_models.variant ->
+  Params.t ->
+  Requirements.requirement ->
+  Proc.Semantics.label Ltl.Check.verdict
+(** The liveness reading of the requirement
+    ({!Requirements.live_formula_pa}) under time divergence
+    ({!Requirements.live_fairness_pa}).  With [reduce] the check offers
+    {!Ltl.Check.check} the partial-order reduction; the formulas pass
+    the stutter-invariance gate, so it is actually applied. *)

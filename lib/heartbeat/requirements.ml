@@ -160,3 +160,87 @@ let live_description = function
   | R3 ->
       "with no losses, crashes or leaves, p[0]'s beats keep arriving at \
        every participant forever"
+
+(* ------------------------------------------------------------------ *)
+(* Liveness on the process-algebra models                              *)
+(* ------------------------------------------------------------------ *)
+
+let pa_act name =
+  Ltl.Formula.lbl name (fun (l : Proc.Semantics.label) ->
+      match l with
+      | Proc.Semantics.Act (n, _) -> n = name
+      | Proc.Semantics.Tick -> false)
+
+let pa_participants variant (p : Params.t) =
+  let n =
+    match (variant : Pa_models.variant) with
+    | Pa_models.Static | Pa_models.Expanding | Pa_models.Dynamic -> p.Params.n
+    | Pa_models.Binary | Pa_models.Revised | Pa_models.Two_phase -> 1
+  in
+  List.init n (fun k -> k + 1)
+
+(* One single-name atom per fault: a multi-name predicate would break
+   the [Lbl] contract {!Ltl.Formula.stutter_invariant} relies on, and
+   with it the partial-order reduction of the check. *)
+let benign_pa variant ps =
+  let faults =
+    List.concat_map (Pa_models.act_lose variant) ps
+    @ [ Pa_models.act_crash_p0 ]
+    @ List.map Pa_models.act_crash_pi ps
+    @
+    if variant = Pa_models.Dynamic then List.map Pa_models.act_leave_pi ps
+    else []
+  in
+  Ltl.Formula.conj
+    (List.map
+       (fun nm -> Ltl.Formula.globally (Ltl.Formula.Not (pa_act nm)))
+       faults)
+
+let live_fairness_pa =
+  [ Ltl.Check.often "tick" (fun l -> l = Proc.Semantics.Tick) ]
+
+let live_formula_pa variant (p : Params.t) req =
+  let ps = pa_participants variant p in
+  let joining = Pa_models.has_join variant in
+  let dlv1 i = pa_act (Pa_models.act_beat_delivered_to_p0 i) in
+  let dlv0 i = pa_act (Pa_models.act_beat_delivered_to_pi i) in
+  let jdlv i = pa_act (Pa_models.act_join_delivered_to_p0 i) in
+  let joined_owes i f =
+    (* the watchdogs arm at the first delivered join/beat, so the
+       obligation is guarded by the delivery, not the attempt *)
+    if joining then Ltl.Formula.implies (Ltl.Formula.finally (jdlv i)) f
+    else f
+  in
+  match req with
+  | R1 ->
+      Ltl.Formula.conj
+        (List.map
+           (fun i ->
+             Ltl.Formula.implies
+               (Ltl.Formula.finally (dlv1 i))
+               (Ltl.Formula.disj
+                  ([
+                     Ltl.Formula.infinitely_often (dlv1 i);
+                     Ltl.Formula.finally (pa_act Pa_models.act_inactivate_nv_p0);
+                     Ltl.Formula.finally (pa_act Pa_models.act_crash_p0);
+                   ]
+                  @
+                  if variant = Pa_models.Dynamic then
+                    [
+                      Ltl.Formula.finally
+                        (pa_act (Pa_models.act_leave_delivered_to_p0 i));
+                    ]
+                  else [])))
+           ps)
+  | R2 ->
+      Ltl.Formula.implies (benign_pa variant ps)
+        (Ltl.Formula.conj
+           (List.map
+              (fun i -> joined_owes i (Ltl.Formula.infinitely_often (dlv1 i)))
+              ps))
+  | R3 ->
+      Ltl.Formula.implies (benign_pa variant ps)
+        (Ltl.Formula.conj
+           (List.map
+              (fun i -> joined_owes i (Ltl.Formula.infinitely_often (dlv0 i)))
+              ps))

@@ -74,3 +74,21 @@ val live_fairness : Ta.Semantics.label Ltl.Check.fairness list
 
 val live_description : requirement -> string
 (** One-line prose for CLI output. *)
+
+(** {2 Liveness on the process-algebra models}
+
+    The same three liveness readings, over {!Proc.Semantics.label}
+    traces of the {!Pa_models} specifications.  Every atom observes a
+    single action name (and the time-divergence premise observes only
+    [tick]), so the formulas pass {!Ltl.Formula.stutter_invariant} and
+    {!Ltl.Formula.alphabet} — which is what lets {!Pa_verify.check_live}
+    hand {!Ltl.Check.check} a partial-order reduction. *)
+
+val live_formula_pa :
+  Pa_models.variant ->
+  Params.t ->
+  requirement ->
+  Proc.Semantics.label Ltl.Formula.t
+
+val live_fairness_pa : Proc.Semantics.label Ltl.Check.fairness list
+(** Time divergence: the global [tick] occurs infinitely often. *)

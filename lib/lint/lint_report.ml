@@ -70,6 +70,28 @@ let waive allow r =
   in
   { r with diags = List.sort compare_diag diags }
 
+(* Allowlist entry syntax, shared with the CLI: "CODE" waives the code
+   everywhere, "MODEL/CODE" for one model only. *)
+let spec_matches spec ~model (d : diag) =
+  match String.index_opt spec '/' with
+  | None -> spec = d.code
+  | Some i ->
+      String.sub spec 0 i = model
+      && String.sub spec (i + 1) (String.length spec - i - 1) = d.code
+
+(* The allowlist entries that matched no diagnostic of any report — a
+   stale waiver usually means the lint it silenced was fixed (or the
+   code was renamed) and the entry should be dropped. *)
+let unused_allows specs reports =
+  List.filter
+    (fun spec ->
+      not
+        (List.exists
+           (fun r ->
+             List.exists (fun d -> spec_matches spec ~model:r.model d) r.diags)
+           reports))
+    specs
+
 let count sev r =
   List.length (List.filter (fun d -> d.severity = sev) r.diags)
 

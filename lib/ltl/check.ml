@@ -323,12 +323,27 @@ let scc_emptiness (type p m) (sys : (p, m) Mc.System.t)
 (* Top level                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let check ?(engine = Ndfs) ?(stutter = Extend) ?(fairness = [])
+let check ?(engine = Ndfs) ?(stutter = Extend) ?(fairness = []) ?reduction
     ?(max_states = Mc.Explore.default_max) sys f =
   let checked =
     match fairness with
     | [] -> f
     | fs -> Formula.implies (Formula.conj (List.map (fun c -> c.premise) fs)) f
+  in
+  (* Partial-order reduction is sound only for stutter-invariant
+     formulas over a pure label alphabet; the fairness premises are part
+     of what the Büchi automaton watches, so [checked] — not [f] — must
+     pass the classifier.  Otherwise fall back to the full system. *)
+  let sys =
+    match reduction with
+    | None -> sys
+    | Some build -> (
+        if not (Formula.stutter_invariant checked) then sys
+        else
+          match Formula.alphabet checked with
+          | None -> sys
+          | Some alphabet -> (
+              match build ~alphabet with Some reduced -> reduced | None -> sys))
   in
   (* a counterexample run satisfies [premises /\ not f] *)
   let ba = Buchi.of_formula (Formula.nnf (Formula.Not checked)) in

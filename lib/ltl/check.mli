@@ -74,13 +74,26 @@ val check :
   ?engine:engine ->
   ?stutter:stutter_policy ->
   ?fairness:'l fairness list ->
+  ?reduction:(alphabet:string list -> ('s, 'l) Mc.System.t option) ->
   ?max_states:int ->
   ('s, 'l) Mc.System.t ->
   'l Formula.t ->
   'l verdict
 (** [check sys f] — defaults: {!Ndfs}, {!Extend}, no fairness,
     [max_states = Mc.Explore.default_max] (bounding the number of distinct
-    product states explored). *)
+    product states explored).
+
+    [reduction] (default none) offers a partial-order-reduced
+    replacement for [sys] — typically [Por.reduction] partially
+    applied.  It is consulted only when the checked formula
+    ({e including} the fairness premises) passes
+    {!Formula.stutter_invariant} and has a pure label alphabet
+    ({!Formula.alphabet}); the callback receives that alphabet as the
+    visibility set and may itself decline by returning [None].  The
+    verdict is unchanged by construction; lassos come from the reduced
+    product, so their runs exist in the full system but may schedule
+    independent actions in a different order than an unreduced search
+    would report. *)
 
 val product :
   ('s, 'l) Mc.System.t ->

@@ -75,3 +75,34 @@ val classify : 'l t -> cls
     semantically a safety property. *)
 
 val cls_name : cls -> string
+
+(** {2 Stutter invariance}
+
+    Support for partial-order reduction: a reduced exploration (see
+    [Por]) preserves the verdict of a formula only if the formula
+    cannot distinguish runs that differ in the insertion or deletion of
+    {e invisible} transitions — transitions whose label name is outside
+    the formula's alphabet.
+
+    {b Lbl contract.}  Both functions below assume every [Lbl (name,
+    pred)] atom satisfies [pred l => label-name-of l = name]: the atom
+    observes only labels carrying its own name.  Under that contract
+    every invisible label falsifies every atom, so all invisible labels
+    behave as a single stutter letter.  An atom whose predicate accepts
+    labels with other names breaks the analysis silently — name atoms
+    after the one action they watch. *)
+
+val stutter_invariant : 'l t -> bool
+(** Syntactic under-approximation of stutter invariance, computed on
+    the NNF: [Next]-free combinations of [Lbl] atoms where every
+    [Until (g, f)] has [g] true and [f] false on stutter letters (or
+    [f] itself invariant), and dually for [Release].  [Enabled] atoms
+    are state predicates, invalidated by reduction itself, so any
+    occurrence yields [false].  Sound, not complete: a [false] answer
+    only means reduction must stay off. *)
+
+val alphabet : 'l t -> string list option
+(** The names of all [Lbl] atoms, sorted and deduplicated — the
+    visibility set to hand to the reducer.  [None] if an [Enabled]
+    atom occurs anywhere (no label alphabet captures a state
+    predicate). *)

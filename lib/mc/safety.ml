@@ -30,8 +30,15 @@ let run_find ?max_states ?expected_states ?(domains = 1) ~goal sys =
   if domains <= 1 then Explore.find ?max_states ?expected_states ~goal sys
   else Pexplore.find ?max_states ?expected_states ~domains ~goal sys
 
-let check_monitor ?max_states ?expected_states ?domains (type s l)
+(* A reduced replacement system forces the sequential engine: stateful
+   reducers (the cycle proviso's seen-set) need a deterministic call
+   order, which Pexplore does not provide. *)
+let apply_reduction reduction domains sys =
+  match reduction with None -> (sys, domains) | Some reduced -> (reduced, Some 1)
+
+let check_monitor (type s l) ?max_states ?expected_states ?domains ?reduction
     (sys : (s, l) System.t) (m : l Monitor.t) : l verdict =
+  let sys, domains = apply_reduction reduction domains sys in
   let prod = product sys m in
   match
     run_find ?max_states ?expected_states ?domains
@@ -42,11 +49,13 @@ let check_monitor ?max_states ?expected_states ?domains (type s l)
   | Explore.Reached w -> Violated w.Explore.trace
   | Explore.Bound_hit n -> Unknown n
 
-let check_forbidden ?max_states ?expected_states ?domains sys r =
-  check_monitor ?max_states ?expected_states ?domains sys (Regex.compile r)
+let check_forbidden ?max_states ?expected_states ?domains ?reduction sys r =
+  check_monitor ?max_states ?expected_states ?domains ?reduction sys
+    (Regex.compile r)
 
-let check_state ?max_states ?expected_states ?domains (type s l)
+let check_state (type s l) ?max_states ?expected_states ?domains ?reduction
     (sys : (s, l) System.t) bad : l verdict =
+  let sys, domains = apply_reduction reduction domains sys in
   match run_find ?max_states ?expected_states ?domains ~goal:bad sys with
   | Explore.Unreachable -> Holds
   | Explore.Reached w -> Violated w.Explore.trace

@@ -15,6 +15,7 @@ val check_monitor :
   ?max_states:int ->
   ?expected_states:int ->
   ?domains:int ->
+  ?reduction:('s, 'l) System.t ->
   ('s, 'l) System.t ->
   'l Monitor.t ->
   'l verdict
@@ -24,12 +25,23 @@ val check_monitor :
     more uses the parallel {!Pexplore} with that many domains; verdicts
     and counterexample lengths are identical either way.  [expected_states]
     is forwarded to the engine as a table pre-sizing hint (see
-    {!Pexplore.space}); it never affects verdicts. *)
+    {!Pexplore.space}); it never affects verdicts.
+
+    [reduction], when given, is explored {e in place of} [sys].  The
+    caller guarantees it is a sound reduction of [sys] for this
+    monitor's alphabet (e.g. [Por.reduced_system ~alphabet] over the
+    names the monitor's predicates observe, plus ["tick"] for deadline
+    monitors).  The verdict is then unchanged, but a [Violated] trace
+    may order independent actions differently and, under a tight
+    [max_states], an [Unknown] full run may become a conclusive reduced
+    one (fewer states to visit).  Implies [domains = 1]: stateful
+    reducers need the deterministic sequential call order. *)
 
 val check_forbidden :
   ?max_states:int ->
   ?expected_states:int ->
   ?domains:int ->
+  ?reduction:('s, 'l) System.t ->
   ('s, 'l) System.t ->
   'l Regex.t ->
   'l verdict
@@ -40,6 +52,7 @@ val check_state :
   ?max_states:int ->
   ?expected_states:int ->
   ?domains:int ->
+  ?reduction:('s, 'l) System.t ->
   ('s, 'l) System.t ->
   ('s -> bool) ->
   'l verdict

@@ -1,0 +1,573 @@
+(* Ample-set partial-order reduction driven by a static dependence
+   analysis of the spec.
+
+   The ample set at a state is chosen per "communication-closed group":
+   starting from a seed component, close under "some member currently
+   offers a communication half whose partner another component could
+   still offer from its *current* configuration" (the syntactic
+   derivative closure: prefix names of the component's term plus every
+   definition reachable from its calls — an over-approximation of all
+   future offers that only shrinks as the component moves).  Members of
+   the group are then frozen with respect to the rest of the system —
+   no transition outside the group can change a member or enable a new
+   interaction with one, because any outsider that could ever grow a
+   matching offer would have been pulled into the group — so the
+   group's internal enabled transitions form a valid ample set
+   provided:
+
+   - T. some member currently refuses [tick], which keeps the global
+     clock step (a transition of *every* component) disabled until an
+     ample transition fires;
+   - C0. the set is nonempty;
+   - C2. every ample label is invisible for the property alphabet;
+   - C3. every cycle of the reduced graph contains a fully expanded
+     state.  Tick is never in an ample set, so cycles through a tick
+     edge get this for free; tick-free cycles either don't exist
+     (statically proven zeno-freedom, the common case for the shipped
+     models) or are caught by a runtime discovery-order proviso.
+
+   Every component is tried as a seed and the smallest valid ample set
+   wins; if no seed yields one, the state is fully expanded via
+   [Proc.Semantics.successors_from], so the reduced relation is always
+   a sub-structure of the full one.  See DESIGN.md ("Partial-order
+   reduction") for the soundness argument. *)
+
+module Sem = Proc.Semantics
+module T = Proc.Term
+module SSet = Lint_pa.SSet
+module SMap = Lint_pa.SMap
+module I = Lint_interval
+module R = Lint_report
+
+type analysis = {
+  compiled : Sem.compiled;
+  defs : (string, T.def) Hashtbl.t;
+  names : string array;
+  alphabets : SSet.t array;
+  offerer_tbl : (string, int list) Hashtbl.t;
+  zeno_suspects : int list;
+      (* components the static zeno-freedom pruning could not discharge;
+         empty = every global cycle provably performs a tick *)
+}
+
+let has_cycle (edges : (string * string * string list) list) : bool =
+  let adj = Hashtbl.create 16 in
+  List.iter (fun (src, dst, _) -> Hashtbl.add adj src dst) edges;
+  let color = Hashtbl.create 16 in
+  let rec visit v =
+    match Hashtbl.find_opt color v with
+    | Some `Open -> true
+    | Some `Done -> false
+    | None ->
+        Hashtbl.replace color v `Open;
+        let cyc = List.exists visit (Hashtbl.find_all adj v) in
+        Hashtbl.replace color v `Done;
+        cyc
+  in
+  List.exists (fun (src, _, _) -> visit src) edges
+
+(* Static zeno-freedom: no reachable cycle of the full system consists of
+   non-tick transitions only.  On such a cycle every moving component
+   traverses a closed walk of its own definition graph made of tick-free
+   call edges, so (a) every definition on the walk is *entered* by a
+   tick-free call on the walk — its parameters take only values flowing
+   around the walk, never the tick-loop values — and (b) every
+   communication half fired on the walk pairs with a partner action that
+   lies on some other component's walk, i.e. on a *cyclic* feasible edge
+   of that component.
+
+   Both facts are exploited by a downward iteration from ⊤ over
+   [Lint_pa]'s interval domain: per definition an entry environment
+   joined over the currently-feasible tick-free call sites (so the
+   paper's timer loops, re-armed with counter 0 and exited only under
+   [c == lim], lose their exit edge: the guard is statically false on
+   every tick-free entry); per component the set of action names
+   occurring on feasible edges that lie on a cycle (so a partner offer
+   that exists only on an acyclic or guard-dead path supports nobody).
+   Each round is a sound over-approximation of the true walks, so the
+   iteration can stop at any point.  A component whose final feasible
+   edge graph is acyclic cannot move on a tick-free cycle; if that holds
+   for all of them, every global cycle performs a tick.  Conservative: a
+   [false] answer only costs the runtime cycle proviso. *)
+
+type zedge = { zsrc : string; zdst : string; zacts : string list }
+
+let zeno_rounds = 30
+
+let compute_zeno_suspects compiled (spec : Proc.Spec.t) defs
+    (alphabets : SSet.t array) =
+  let comps = Array.of_list spec.Proc.Spec.init in
+  let n = Array.length comps in
+  let reach =
+    Array.map
+      (fun ((root, _) : string * Proc.Value.t list) ->
+        Lint_pa.reachable_from defs [ root ])
+      comps
+  in
+  (* Entry environments per (component, definition); absence means "no
+     feasible tick-free entry".  The empty map is ⊤: [Lint_pa.lookup]
+     defaults unbound parameters to the full interval. *)
+  let envs : Lint_pa.env SMap.t array =
+    Array.map
+      (fun r ->
+        SSet.fold (fun d acc -> SMap.add d (SMap.empty : Lint_pa.env) acc) r SMap.empty)
+      reach
+  in
+  let offers = Array.copy alphabets in
+  let edges : zedge list array = Array.make (max n 1) [] in
+  let feasible i nm =
+    if nm = Proc.Spec.tick_name then false
+    else
+      match Sem.comm_partners compiled nm with
+      | [] -> Sem.is_visible compiled nm || Sem.is_hidden compiled nm
+      | partners ->
+          List.exists
+            (fun ((partner, result) : string * string) ->
+              (Sem.is_visible compiled result || Sem.is_hidden compiled result)
+              &&
+              let ok = ref false in
+              for j = 0 to n - 1 do
+                if j <> i && SSet.mem partner offers.(j) then ok := true
+              done;
+              !ok)
+            partners
+  in
+  (* Walk a definition body under its entry environment, pruning
+     branches whose guards are statically decided, binding sum
+     variables, and cutting paths at infeasible or tick prefixes. *)
+  let walk i (d : T.def) (env0 : Lint_pa.env) ~on_edge =
+    let rec go env acts (t : T.t) =
+      match t with
+      | T.Nil -> ()
+      | T.Prefix (a, p) ->
+          let nm = a.T.act_name in
+          if nm <> Proc.Spec.tick_name && feasible i nm then go env (nm :: acts) p
+      | T.Choice ps -> List.iter (go env acts) ps
+      | T.Sum (x, lo, hi, p) ->
+          if lo <= hi then
+            go (SMap.add x (Lint_pa.Num (I.of_bounds lo hi)) env) acts p
+      | T.Cond (c, p, q) -> (
+          match Lint_pa.bool_eval env c with
+          | Some true -> branch env c true acts p
+          | Some false -> branch env c false acts q
+          | None ->
+              branch env c true acts p;
+              branch env c false acts q)
+      | T.Call (name, args) -> on_edge ~env ~acts:(List.rev acts) name args
+    and branch env c truth acts t =
+      match Lint_pa.refine env c truth with
+      | Some env' -> go env' acts t
+      | None -> () (* assumption contradictory: branch unreachable *)
+    in
+    go env0 [] d.T.body
+  in
+  let join_env params a b =
+    List.fold_left
+      (fun acc p ->
+        let get m =
+          match SMap.find_opt p m with Some v -> v | None -> Lint_pa.Num I.top
+        in
+        SMap.add p (Lint_pa.join_aval (get a) (get b)) acc)
+      SMap.empty params
+  in
+  (* Action names on feasible edges that lie on a cycle (src and dst in
+     the same strongly-connected component). *)
+  let cyclic_offers es =
+    let adj = Hashtbl.create 16 in
+    List.iter (fun e -> Hashtbl.add adj e.zsrc e.zdst) es;
+    let on_cycle e =
+      (* does zdst reach zsrc? *)
+      let seen = Hashtbl.create 16 in
+      let rec go v =
+        v = e.zsrc
+        || (not (Hashtbl.mem seen v))
+           && begin
+                Hashtbl.add seen v ();
+                List.exists go (Hashtbl.find_all adj v)
+              end
+      in
+      go e.zdst
+    in
+    List.fold_left
+      (fun acc e ->
+        if on_cycle e then
+          List.fold_left (fun acc a -> SSet.add a acc) acc e.zacts
+        else acc)
+      SSet.empty es
+  in
+  for _round = 1 to zeno_rounds do
+    let new_envs = Array.make (max n 1) (SMap.empty : Lint_pa.env SMap.t) in
+    for i = 0 to n - 1 do
+      let es = ref [] in
+      SMap.iter
+        (fun dname env ->
+          match Hashtbl.find_opt defs dname with
+          | None -> ()
+          | Some (d : T.def) ->
+              walk i d env ~on_edge:(fun ~env ~acts callee args ->
+                  es := { zsrc = dname; zdst = callee; zacts = acts } :: !es;
+                  match Hashtbl.find_opt defs callee with
+                  | Some (cd : T.def)
+                    when List.length cd.T.params = List.length args ->
+                      let entry =
+                        List.fold_left2
+                          (fun acc p a -> SMap.add p (Lint_pa.eval env a) acc)
+                          SMap.empty cd.T.params args
+                      in
+                      new_envs.(i) <-
+                        SMap.update callee
+                          (function
+                            | None -> Some entry
+                            | Some prev -> Some (join_env cd.T.params prev entry))
+                          new_envs.(i)
+                  | Some _ | None -> ()))
+        envs.(i);
+      edges.(i) <- !es
+    done;
+    for i = 0 to n - 1 do
+      envs.(i) <- new_envs.(i);
+      offers.(i) <- cyclic_offers edges.(i)
+    done
+  done;
+  let suspects = ref [] in
+  for i = n - 1 downto 0 do
+    if has_cycle (List.map (fun e -> (e.zsrc, e.zdst, e.zacts)) edges.(i)) then
+      suspects := i :: !suspects
+  done;
+  !suspects
+
+let analyze spec =
+  let compiled = Sem.compile spec in
+  let defs = Lint_pa.def_table spec in
+  let comps = Array.of_list spec.Proc.Spec.init in
+  let names = Array.map (fun ((name, _) : string * Proc.Value.t list) -> name) comps in
+  let alphabets =
+    Array.map
+      (fun (root, _) -> Lint_pa.offered_by defs (Lint_pa.reachable_from defs [ root ]))
+      comps
+  in
+  let offerer_tbl = Hashtbl.create 64 in
+  Array.iteri
+    (fun i alpha ->
+      SSet.iter
+        (fun a ->
+          let prev = Option.value (Hashtbl.find_opt offerer_tbl a) ~default:[] in
+          Hashtbl.replace offerer_tbl a (i :: prev))
+        alpha)
+    alphabets;
+  Hashtbl.filter_map_inplace (fun _ l -> Some (List.rev l)) offerer_tbl;
+  let zeno_suspects = compute_zeno_suspects compiled spec defs alphabets in
+  { compiled; defs; names; alphabets; offerer_tbl; zeno_suspects }
+
+let zeno_free a = a.zeno_suspects = []
+let zeno_suspects a = a.zeno_suspects
+
+let compiled a = a.compiled
+let component_names a = a.names
+let component_alphabet a i = SSet.elements a.alphabets.(i)
+let offerers a name = Option.value (Hashtbl.find_opt a.offerer_tbl name) ~default:[]
+
+type stats = {
+  mutable states : int;
+  mutable ample_states : int;
+  mutable no_refuser : int;
+  mutable proviso_blocked : int;
+  mutable visible_blocked : int;
+}
+
+module H = Hashtbl.Make (struct
+  type t = Sem.state
+
+  let equal = Sem.equal_state
+  let hash = Sem.hash_state
+end)
+
+module TH = Hashtbl.Make (struct
+  type t = T.t
+
+  let equal = ( = )
+  let hash t = Hashtbl.hash_param 128 256 t
+end)
+
+let reduced_successors (a : analysis) ~alphabet :
+    (Sem.state -> (Sem.label * Sem.state) list) * stats =
+  let c = a.compiled in
+  let prop = SSet.of_list alphabet in
+  let visible_prop l = SSet.mem (Sem.label_name l) prop in
+  let stats =
+    { states = 0; ample_states = 0; no_refuser = 0; proviso_blocked = 0; visible_blocked = 0 }
+  in
+  (* Discovery indices for the cycle proviso: every state this system
+     has handed out or been asked about gets a sequence number when
+     first seen.  An ample transition into a state discovered no later
+     than the current one is a potential cycle-closing back edge and
+     forces full expansion; edges to later-discovered states (the
+     common diamond-convergence case) are harmless.  Soundness needs no
+     assumption on the caller's exploration order beyond it being
+     sequential: on any all-reduced cycle, the state with the minimal
+     discovery index was noted before its cycle predecessor was, so the
+     predecessor's expansion saw the back edge and cannot have chosen
+     that ample set.  Memoization makes the reduced relation a function
+     of the state despite the stateful proviso. *)
+  let seen : int H.t = H.create 4096 in
+  let next_disc = ref 0 in
+  let memo : (Sem.label * Sem.state) list H.t = H.create 4096 in
+  (* Future offers of a configuration: every action name it could ever
+     offer again, over-approximated syntactically — the prefix names of
+     its own term plus those of every definition reachable from its
+     calls.  Action names are static strings, so this set is exact up
+     to data; and every derivative's set is a subset of its source's,
+     which is what makes it usable for freezing: a component whose
+     future offers exclude [partner] can move freely without ever
+     enabling that handshake.  Memoized per term (environments don't
+     affect names). *)
+  let future_cache : SSet.t TH.t = TH.create 256 in
+  let future_offers comp =
+    let t = Sem.component_term comp in
+    match TH.find_opt future_cache t with
+    | Some set -> set
+    | None ->
+        let roots = SSet.elements (Lint_pa.callees SSet.empty t) in
+        let set =
+          SSet.union
+            (Lint_pa.offered SSet.empty t)
+            (Lint_pa.offered_by a.defs (Lint_pa.reachable_from a.defs roots))
+        in
+        TH.add future_cache t set;
+        set
+  in
+  let note s =
+    if not (H.mem seen s) then begin
+      H.add seen s !next_disc;
+      incr next_disc
+    end
+  in
+  let expand (s : Sem.state) ~disc : (Sem.label * Sem.state) list =
+    let n = Array.length s in
+    let locals = Array.map (Sem.component_steps c) s in
+    let future = Array.map future_offers s in
+    let offers_tick steps =
+      List.exists (fun ((nm, _, _) : string * Proc.Value.t list * _) -> nm = Proc.Spec.tick_name) steps
+    in
+    (* Least communication-closed group containing [seed]. *)
+    let group seed =
+      let in_g = Array.make n false in
+      in_g.(seed) <- true;
+      let stack = ref [ seed ] in
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | m :: rest ->
+            stack := rest;
+            List.iter
+              (fun ((nm, _, _) : string * Proc.Value.t list * _) ->
+                List.iter
+                  (fun ((partner, _result) : string * string) ->
+                    for j = 0 to n - 1 do
+                      if (not in_g.(j)) && SSet.mem partner future.(j) then begin
+                        in_g.(j) <- true;
+                        stack := j :: !stack
+                      end
+                    done)
+                  (Sem.comm_partners c nm))
+              locals.(m)
+      done;
+      in_g
+    in
+    (* Enabled transitions internal to the group, mirroring the order of
+       [Sem.successors_from] (locals in component order, then
+       communications for i < j); [None] if some label is visible. *)
+    let internal in_g =
+      let acc = ref [] in
+      let ok = ref true in
+      let emit label s' =
+        if visible_prop label then ok := false else acc := (label, s') :: !acc
+      in
+      let set1 i comp' =
+        let s' = Array.copy s in
+        s'.(i) <- comp';
+        s'
+      in
+      let set2 i ci j cj =
+        let s' = Array.copy s in
+        s'.(i) <- ci;
+        s'.(j) <- cj;
+        s'
+      in
+      Array.iteri
+        (fun i steps ->
+          if in_g.(i) && !ok then
+            List.iter
+              (fun (name, args, comp') ->
+                if name <> Proc.Spec.tick_name && not (Sem.is_comm c name) then begin
+                  if Sem.is_hidden c name then emit Sem.tau (set1 i comp')
+                  else if Sem.is_visible c name then emit (Sem.Act (name, args)) (set1 i comp')
+                end)
+              steps)
+        locals;
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          if in_g.(i) && in_g.(j) && !ok then
+            List.iter
+              (fun (name_i, args_i, ci) ->
+                List.iter
+                  (fun ((partner, result) : string * string) ->
+                    List.iter
+                      (fun (name_j, args_j, cj) ->
+                        if name_j = partner && args_i = args_j then begin
+                          if Sem.is_hidden c result then emit Sem.tau (set2 i ci j cj)
+                          else if Sem.is_visible c result then
+                            emit (Sem.Act (result, args_i)) (set2 i ci j cj)
+                        end)
+                      locals.(j))
+                  (Sem.comm_partners c name_i))
+              locals.(i)
+        done
+      done;
+      if !ok then Some (List.rev !acc) else None
+    in
+    let depth = ref 0 in
+    let try_seed seed =
+      let in_g = group seed in
+      let tick_refused =
+        let r = ref false in
+        Array.iteri (fun i g -> if g && not (offers_tick locals.(i)) then r := true) in_g;
+        !r
+      in
+      if not tick_refused then None
+      else
+        match internal in_g with
+        | None | Some [] -> (if !depth < 1 then depth := 1); None
+        | Some amples ->
+            (* Cycle proviso: an ample transition back to an
+               earlier-discovered (or the current) state could close a
+               cycle along which the deferred transitions never fire.
+               Ample sets never contain the tick, so any reduced cycle
+               through a tick edge already has a fully expanded state —
+               only tick-free (zeno) cycles are a risk, and when the
+               static analysis proves there are none, the proviso is
+               vacuous and skipped. *)
+            if a.zeno_suspects = [] then Some amples
+            else
+              let back (_, s') =
+                match H.find_opt seen s' with
+                | Some d -> d <= disc
+                | None -> false
+              in
+              if List.exists back amples then ((if !depth < 2 then depth := 2); None)
+              else Some amples
+    in
+    (* Every component is tried as a seed and the smallest valid ample
+       set wins (ties go to the lowest seed, keeping the choice
+       deterministic).  Hub components close to near-total groups whose
+       "ample" set defers almost nothing; a peripheral seed — an
+       in-flight channel, say — often freezes just itself and its
+       current partners. *)
+    let best = ref None in
+    for seed = 0 to n - 1 do
+      match try_seed seed with
+      | None -> ()
+      | Some amples -> (
+          let k = List.length amples in
+          match !best with
+          | Some (k0, _) when k0 <= k -> ()
+          | _ -> best := Some (k, amples))
+    done;
+    match !best with
+    | Some (_, amples) ->
+        stats.ample_states <- stats.ample_states + 1;
+        amples
+    | None ->
+        (match !depth with
+        | 0 -> stats.no_refuser <- stats.no_refuser + 1
+        | 1 -> stats.visible_blocked <- stats.visible_blocked + 1
+        | _ -> stats.proviso_blocked <- stats.proviso_blocked + 1);
+        Sem.successors_from c locals s
+  in
+  let successors s =
+    match H.find_opt memo s with
+    | Some r -> r
+    | None ->
+        note s;
+        stats.states <- stats.states + 1;
+        let result = expand s ~disc:(H.find seen s) in
+        List.iter (fun (_, s') -> note s') result;
+        H.add memo s result;
+        result
+  in
+  (successors, stats)
+
+let reduced_system_stats ?(alphabet = []) (a : analysis) :
+    (Sem.state, Sem.label) Mc.System.t * stats =
+  let successors, stats = reduced_successors a ~alphabet in
+  let sys : (Sem.state, Sem.label) Mc.System.t =
+    (module struct
+      type state = Sem.state
+      type label = Sem.label
+
+      let initial = Sem.initial_of a.compiled
+      let successors = successors
+      let equal_state = Sem.equal_state
+      let hash_state = Sem.hash_state
+      let pp_state = Sem.pp_state
+      let pp_label = Sem.pp_label
+    end)
+  in
+  (sys, stats)
+
+let reduced_system ?alphabet a = fst (reduced_system_stats ?alphabet a)
+let reduction a ~alphabet = Some (reduced_system ~alphabet a)
+
+(* --- hblint report section -------------------------------------------- *)
+
+let diagnostics (a : analysis) : R.diag list =
+  let spec = Sem.spec_of a.compiled in
+  let c = a.compiled in
+  let diags = ref [] in
+  let info ~where fmt =
+    Format.kasprintf
+      (fun m -> diags := R.diag ~severity:R.Info ~code:"PA-POR" ~where "%s" m :: !diags)
+      fmt
+  in
+  let comp_names is =
+    match is with
+    | [] -> "(none)"
+    | _ -> String.concat ", " (List.map (fun i -> a.names.(i)) is)
+  in
+  let all = Array.fold_left SSet.union SSet.empty a.alphabets in
+  let local_acts =
+    SSet.filter (fun nm -> nm <> Proc.Spec.tick_name && not (Sem.is_comm c nm)) all
+  in
+  let singleton_locals =
+    SSet.filter (fun nm -> match offerers a nm with [ _ ] -> true | _ -> false) local_acts
+  in
+  info ~where:"por"
+    "%d components; %d communication pair(s); %d local action name(s), %d of them \
+     confined to a single component (ample candidates when invisible); tick is \
+     global (all components participate, never reduced)"
+    (Array.length a.names)
+    (List.length spec.Proc.Spec.comms)
+    (SSet.cardinal local_acts)
+    (SSet.cardinal singleton_locals);
+  List.iter
+    (fun ((s, r, res) : string * string * string) ->
+      info
+        ~where:("comm " ^ res)
+        "handshake %s/%s couples {%s} with {%s}: every action of these components is \
+         dependent on %s"
+        s r (comp_names (offerers a s)) (comp_names (offerers a r)) res)
+    spec.Proc.Spec.comms;
+  SSet.iter
+    (fun nm ->
+      match offerers a nm with
+      | [ i ] ->
+          info ~where:("action " ^ nm)
+            "confined to component %s: independent of every other component's actions"
+            a.names.(i)
+      | is ->
+          info ~where:("action " ^ nm)
+            "offered by %s: occurrences in different components are independent of \
+             each other but dependent on their own component's actions"
+            (comp_names is))
+    local_acts;
+  List.rev !diags

@@ -69,7 +69,22 @@ let local_steps defs { proc; env } =
   go max_unfold proc env;
   List.rev !acc
 
-let system (spec : Spec.t) : (state, label) Mc.System.t =
+(* A specification compiled to the lookup tables the step relation
+   needs.  Kept abstract so alternative successor functions (the
+   partial-order reducer in lib/por) can share the exact step
+   construction instead of re-deriving it. *)
+type compiled = {
+  spec : Spec.t;
+  defs : (string, Term.def) Hashtbl.t;
+  allow : (string, unit) Hashtbl.t;
+  hide : (string, unit) Hashtbl.t;
+  (* Communication lookup: action name -> (partner name, result) list, in
+     both directions. *)
+  comm : (string, string * string) Hashtbl.t;
+  initial : state;
+}
+
+let compile (spec : Spec.t) : compiled =
   Spec.validate spec;
   let defs = Hashtbl.create 16 in
   List.iter
@@ -79,16 +94,12 @@ let system (spec : Spec.t) : (state, label) Mc.System.t =
   List.iter (fun a -> Hashtbl.replace allow a ()) spec.Spec.allow;
   let hide = Hashtbl.create 16 in
   List.iter (fun a -> Hashtbl.replace hide a ()) spec.Spec.hide;
-  (* Communication lookup: action name -> (partner name, result) list, in
-     both directions. *)
   let comm = Hashtbl.create 16 in
   List.iter
     (fun (s, r, res) ->
       Hashtbl.add comm s (r, res);
       Hashtbl.add comm r (s, res))
     spec.Spec.comms;
-  let visible name = Hashtbl.mem allow name in
-  let hidden name = Hashtbl.mem hide name in
   let initial : state =
     Array.of_list
       (List.map
@@ -101,93 +112,118 @@ let system (spec : Spec.t) : (state, label) Mc.System.t =
            { proc = d.Term.body; env = List.combine d.Term.params values })
          spec.Spec.init)
   in
-  let successors (s : state) : (label * state) list =
-    let n = Array.length s in
-    let locals = Array.map (local_steps defs) s in
-    let acc = ref [] in
-    let emit label i comp' =
-      let s' = Array.copy s in
-      s'.(i) <- comp';
-      acc := (label, s') :: !acc
-    in
-    let emit2 label i ci j cj =
-      let s' = Array.copy s in
-      s'.(i) <- ci;
-      s'.(j) <- cj;
-      acc := (label, s') :: !acc
-    in
-    (* Independent (non-communicating) visible or hidden actions. *)
-    Array.iteri
-      (fun i steps ->
-        List.iter
-          (fun (name, args, comp') ->
-            if name <> Spec.tick_name && not (Hashtbl.mem comm name) then begin
-              if hidden name then emit tau i comp'
-              else if visible name then emit (Act (name, args)) i comp'
-              (* otherwise blocked *)
-            end)
-          steps)
-      locals;
-    (* Binary communications: for i < j, match any send/recv pair with
-       equal data, in either direction. *)
-    for i = 0 to n - 1 do
-      for j = i + 1 to n - 1 do
-        List.iter
-          (fun (name_i, args_i, ci) ->
-            List.iter
-              (fun ((partner, result) : string * string) ->
-                List.iter
-                  (fun (name_j, args_j, cj) ->
-                    if name_j = partner && args_i = args_j then begin
-                      if hidden result then emit2 tau i ci j cj
-                      else if visible result then
-                        emit2 (Act (result, args_i)) i ci j cj
-                    end)
-                  locals.(j))
-              (Hashtbl.find_all comm name_i))
-          locals.(i)
-      done
-    done;
-    (* Global tick: every component must offer one. *)
-    let ticks =
-      Array.map
-        (fun steps ->
-          List.filter_map
-            (fun (name, _, comp') ->
-              if name = Spec.tick_name then Some comp' else None)
-            steps)
-        locals
-    in
-    if Array.for_all (fun l -> l <> []) ticks then begin
-      (* Cartesian product over the (usually singleton) tick choices. *)
-      let rec expand i chosen =
-        if i = n then begin
-          let s' = Array.of_list (List.rev chosen) in
-          acc := (Tick, s') :: !acc
-        end
-        else List.iter (fun c -> expand (i + 1) (c :: chosen)) ticks.(i)
-      in
-      if n = 0 then () else expand 0 []
-    end;
-    List.rev !acc
+  { spec; defs; allow; hide; comm; initial }
+
+let spec_of c = c.spec
+let initial_of c = c.initial
+let component_steps c comp = local_steps c.defs comp
+let component_term comp = comp.proc
+let is_visible c name = Hashtbl.mem c.allow name
+let is_hidden c name = Hashtbl.mem c.hide name
+let comm_partners c name = Hashtbl.find_all c.comm name
+let is_comm c name = Hashtbl.mem c.comm name
+
+(* Successor construction from pre-computed local step menus.  [locals]
+   must be [Array.map (component_steps c) s]; exposed so callers that
+   already computed the menus (the ample-set reducer) avoid doing it
+   twice. *)
+let successors_from (c : compiled) (locals : (string * Value.t list * component) list array)
+    (s : state) : (label * state) list =
+  let n = Array.length s in
+  let visible name = Hashtbl.mem c.allow name in
+  let hidden name = Hashtbl.mem c.hide name in
+  let acc = ref [] in
+  let emit label i comp' =
+    let s' = Array.copy s in
+    s'.(i) <- comp';
+    acc := (label, s') :: !acc
   in
+  let emit2 label i ci j cj =
+    let s' = Array.copy s in
+    s'.(i) <- ci;
+    s'.(j) <- cj;
+    acc := (label, s') :: !acc
+  in
+  (* Independent (non-communicating) visible or hidden actions. *)
+  Array.iteri
+    (fun i steps ->
+      List.iter
+        (fun (name, args, comp') ->
+          if name <> Spec.tick_name && not (Hashtbl.mem c.comm name) then begin
+            if hidden name then emit tau i comp'
+            else if visible name then emit (Act (name, args)) i comp'
+            (* otherwise blocked *)
+          end)
+        steps)
+    locals;
+  (* Binary communications: for i < j, match any send/recv pair with
+     equal data, in either direction. *)
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      List.iter
+        (fun (name_i, args_i, ci) ->
+          List.iter
+            (fun ((partner, result) : string * string) ->
+              List.iter
+                (fun (name_j, args_j, cj) ->
+                  if name_j = partner && args_i = args_j then begin
+                    if hidden result then emit2 tau i ci j cj
+                    else if visible result then
+                      emit2 (Act (result, args_i)) i ci j cj
+                  end)
+                locals.(j))
+            (Hashtbl.find_all c.comm name_i))
+        locals.(i)
+    done
+  done;
+  (* Global tick: every component must offer one. *)
+  let ticks =
+    Array.map
+      (fun steps ->
+        List.filter_map
+          (fun (name, _, comp') ->
+            if name = Spec.tick_name then Some comp' else None)
+          steps)
+      locals
+  in
+  if Array.for_all (fun l -> l <> []) ticks then begin
+    (* Cartesian product over the (usually singleton) tick choices. *)
+    let rec expand i chosen =
+      if i = n then begin
+        let s' = Array.of_list (List.rev chosen) in
+        acc := (Tick, s') :: !acc
+      end
+      else List.iter (fun c -> expand (i + 1) (c :: chosen)) ticks.(i)
+    in
+    if n = 0 then () else expand 0 []
+  end;
+  List.rev !acc
+
+let successors_of c s = successors_from c (Array.map (local_steps c.defs) s) s
+
+let pp_state ppf (s : state) =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun ppf c ->
+         Term.pp ppf c.proc))
+    (Array.to_list s)
+
+let equal_state (a : state) (b : state) = a = b
+let hash_state (s : state) = Hashtbl.hash_param 128 256 s
+
+let system_of (c : compiled) : (state, label) Mc.System.t =
   (module struct
     type nonrec state = state
     type nonrec label = label
 
-    let initial = initial
-    let successors = successors
-    let equal_state (a : state) (b : state) = a = b
-    let hash_state (s : state) = Hashtbl.hash_param 128 256 s
-
-    let pp_state ppf (s : state) =
-      Format.fprintf ppf "@[<v>%a@]"
-        (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun ppf c ->
-             Term.pp ppf c.proc))
-        (Array.to_list s)
-
+    let initial = c.initial
+    let successors = successors_of c
+    let equal_state = equal_state
+    let hash_state = hash_state
+    let pp_state = pp_state
     let pp_label = pp_label
   end)
+
+let system (spec : Spec.t) : (state, label) Mc.System.t = system_of (compile spec)
 
 let lts ?max_states ?(domains = 1) spec =
   let sys = system spec in

@@ -32,6 +32,69 @@ val system : Spec.t -> (state, label) Mc.System.t
 (** Compile a (validated) specification into an explorable system.
     @raise Invalid_argument if {!Spec.validate} rejects the spec. *)
 
+(** {2 Compiled specifications}
+
+    The step relation of {!system}, split into a compile step and
+    introspection accessors.  This is what alternative successor
+    functions (the ample-set reducer in [lib/por]) build on: they can
+    read each component's current action offers, look up communication
+    partners and visibility, and fall back to the exact full successor
+    construction — guaranteeing the reduced system explores a
+    sub-structure of the full one. *)
+
+type compiled
+(** A validated specification with its lookup tables (definitions,
+    allow/hide sets, communication pairs) and initial state. *)
+
+val compile : Spec.t -> compiled
+(** @raise Invalid_argument if {!Spec.validate} rejects the spec. *)
+
+val spec_of : compiled -> Spec.t
+val initial_of : compiled -> state
+
+val component_steps : compiled -> component -> (string * Value.t list * component) list
+(** Local steps of one sequential component: every (action name,
+    evaluated arguments, next configuration) it currently offers,
+    in deterministic (syntactic) order.  Includes tick offers, blocked
+    actions and unpaired communication halves — pairing, visibility and
+    the global-tick rule are applied by {!successors_from}. *)
+
+val component_term : component -> Term.t
+(** The process term of a configuration (normalized: never a top-level
+    [Call]).  Lets static analyses compute, per configuration, which
+    actions it could ever offer again. *)
+
+val is_visible : compiled -> string -> bool
+(** The name is in the spec's [allow] list. *)
+
+val is_hidden : compiled -> string -> bool
+(** The name is in the spec's [hide] list. *)
+
+val is_comm : compiled -> string -> bool
+(** The name is a send or receive half of some communication pair. *)
+
+val comm_partners : compiled -> string -> (string * string) list
+(** [(partner, result)] pairs for a communication half, both directions;
+    [[]] for non-communication names. *)
+
+val successors_from :
+  compiled -> (string * Value.t list * component) list array -> state -> (label * state) list
+(** Full successor list of a state given the pre-computed local step
+    menus of its components ([locals.(i)] must be
+    [component_steps c s.(i)]).  This is the step relation of {!system}:
+    independent actions in component order, then communications for
+    [i < j], then the global tick. *)
+
+val successors_of : compiled -> state -> (label * state) list
+
+val system_of : compiled -> (state, label) Mc.System.t
+(** The system of {!compile}d spec; [system spec] is
+    [system_of (compile spec)]. *)
+
+val pp_state : Format.formatter -> state -> unit
+val equal_state : state -> state -> bool
+val hash_state : state -> int
+
 val lts : ?max_states:int -> ?domains:int -> Spec.t -> label Lts.Graph.t
 (** Convenience: the reachable labelled transition system of the spec.
     [domains] (default 1) selects the sequential ({!Mc.Explore}) or

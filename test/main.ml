@@ -16,4 +16,5 @@ let () =
       Test_fault.tests;
       Test_fd.tests;
       Test_lint.tests;
+      Test_por.tests;
     ]

@@ -388,6 +388,32 @@ let test_dynamic_no_leave_flag () =
 
 (* --- suite ------------------------------------------------------------- *)
 
+(* --- allowlist bookkeeping ------------------------------------------- *)
+
+let test_unused_allows () =
+  let r =
+    R.make ~model:"pa:binary"
+      ~diags:[ R.diag ~code:"PA-DEAD-DEF" ~where:"X" "dead" ]
+      ~stats:R.no_stats
+  in
+  (* matched: bare code, and model-qualified with the right model *)
+  check
+    Alcotest.(list string)
+    "matched entries are not reported" []
+    (R.unused_allows [ "PA-DEAD-DEF"; "pa:binary/PA-DEAD-DEF" ] [ r ]);
+  (* unmatched: unknown code, and right code under the wrong model *)
+  check
+    Alcotest.(list string)
+    "stale entries are reported in order"
+    [ "NO-SUCH-CODE"; "ta:binary/PA-DEAD-DEF" ]
+    (R.unused_allows
+       [ "PA-DEAD-DEF"; "NO-SUCH-CODE"; "ta:binary/PA-DEAD-DEF" ]
+       [ r ]);
+  check
+    Alcotest.(list string)
+    "everything is stale against no reports" [ "PA-DEAD-DEF" ]
+    (R.unused_allows [ "PA-DEAD-DEF" ] [])
+
 let tests =
   ( "lint",
     [
@@ -435,4 +461,6 @@ let tests =
         test_presize_parity;
       Alcotest.test_case "dynamic model has no leave flag" `Quick
         test_dynamic_no_leave_flag;
+      Alcotest.test_case "unused allow entries are reported" `Quick
+        test_unused_allows;
     ] )

@@ -188,6 +188,31 @@ let random_lts =
           in
           map (fun es -> (n, es)) (list_size (int_bound (3 * n)) edge)))
 
+let prop_weak_trace_reflexive =
+  QCheck.Test.make ~name:"weak-trace equivalence is reflexive" ~count:100
+    random_lts (fun (n, edges) ->
+      let g = Lts.Graph.make ~num_states:n ~initial:0 edges in
+      Lts.Equiv.weak_trace_equivalent ~hidden:(fun l -> l = "a") g g)
+
+let prop_weak_trace_tau_insertion =
+  (* Splitting every edge u -l-> v into u -tau-> w -l-> v inserts one
+     hidden step before each visible one; the weak traces are unchanged. *)
+  QCheck.Test.make ~name:"weak traces invariant under tau-insertion" ~count:100
+    random_lts (fun (n, edges) ->
+      let g = Lts.Graph.make ~num_states:n ~initial:0 edges in
+      let edges' =
+        List.concat
+          (List.mapi
+             (fun k (u, l, v) ->
+               let w = n + k in
+               [ (u, "tau", w); (w, l, v) ])
+             edges)
+      in
+      let g' =
+        Lts.Graph.make ~num_states:(n + List.length edges) ~initial:0 edges'
+      in
+      Lts.Equiv.weak_trace_equivalent ~hidden:(fun l -> l = "tau") g g')
+
 let prop_minimize_idempotent =
   QCheck.Test.make ~name:"strong minimisation is idempotent" ~count:200
     random_lts (fun (n, edges) ->
@@ -355,6 +380,8 @@ let tests =
       Alcotest.test_case "weak equivalence" `Quick test_equiv_weak;
       QCheck_alcotest.to_alcotest prop_quotient_bisimilar;
       QCheck_alcotest.to_alcotest prop_weak_trace_reduction_equivalent;
+      QCheck_alcotest.to_alcotest prop_weak_trace_reflexive;
+      QCheck_alcotest.to_alcotest prop_weak_trace_tau_insertion;
       Alcotest.test_case "predecessors" `Quick test_predecessors;
       Alcotest.test_case "scc basics" `Quick test_scc_basic;
       QCheck_alcotest.to_alcotest prop_scc_is_mutual_reachability;
