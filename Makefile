@@ -1,6 +1,6 @@
 DUNE ?= dune
 
-.PHONY: all build test bench bench-parallel faults lint ltl por clean fmt
+.PHONY: all build test bench bench-parallel faults lint ltl por par clean fmt
 
 all: build
 
@@ -53,6 +53,17 @@ por:
 	$(DUNE) exec bin/hbverify.exe -- pa-smoke --json > _build/hbpor-1.json
 	$(DUNE) exec bin/hbverify.exe -- pa-smoke --json > _build/hbpor-2.json
 	cmp _build/hbpor-1.json _build/hbpor-2.json
+
+# Parallel-engine gate: the qcheck parity harness for the
+# work-stealing engine (spaces byte-identical to Mc.Explore across
+# engines x stores x domain counts, goal and truncation verdicts in
+# parity), the store-compression units (hash-compaction, bitstate
+# coverage estimates, collision injection), and the POR soundness
+# suite including the parallel cycle proviso.
+par:
+	$(DUNE) exec test/main.exe -- test pexplore
+	$(DUNE) exec test/main.exe -- test store
+	$(DUNE) exec test/main.exe -- test por
 
 # Just the sequential-vs-parallel exploration comparison.
 bench-parallel:

@@ -49,13 +49,45 @@ let exploration_stats_arg =
     & info [ "stats" ]
         ~doc:"Print exploration statistics (states/s, frontier, shards).")
 
+let store_conv =
+  let parse s =
+    match Mc.Store.of_string s with Ok m -> Ok m | Error e -> Error (`Msg e)
+  in
+  Arg.conv
+    (parse, fun ppf m -> Format.pp_print_string ppf (Mc.Store.mode_name m))
+
+let store_arg =
+  Arg.(
+    value
+    & opt store_conv Mc.Store.Exact
+    & info [ "store" ] ~docv:"MODE"
+        ~doc:
+          "State storage mode: $(b,exact) (default, no omissions), \
+           $(b,hashcompact)[:BITS] (64-bit fingerprints) or \
+           $(b,bitstate)[:LOG2BITS[:HASHES]] (supertrace bit array). The \
+           compressed modes conflate fingerprint-colliding states, so any \
+           $(i,no violation) / $(i,complete) answer they produce is \
+           probabilistic — a violation hidden behind an omitted state is \
+           missed, never invented; the printed coverage estimate \
+           quantifies the omission risk. Violations and deadlocks that \
+           $(i,are) reported remain real.")
+
+let levels_arg =
+  Arg.(
+    value & flag
+    & info [ "levels" ]
+        ~doc:
+          "Use the level-synchronised parallel engine instead of the \
+           work-stealing default (baseline for benchmarks; no bitstate \
+           support).")
+
 let resolve_jobs jobs =
   if jobs < 0 then failwith "--jobs must be >= 0"
   else if jobs = 0 then Domain.recommended_domain_count ()
   else jobs
 
 let stats_cmd =
-  let run variant tmin tmax n fixed monitors jobs show_stats =
+  let run variant tmin tmax n fixed monitors jobs show_stats store levels =
     let jobs = resolve_jobs jobs in
     let params = H.Params.make ~n ~tmin ~tmax () in
     let model =
@@ -64,31 +96,60 @@ let stats_cmd =
     let net = Ta.Semantics.compile model in
     let sys = Ta.Semantics.system net in
     let max_states = 10_000_000 in
-    let space, stats =
-      if jobs <= 1 && not show_stats then
-        (Mc.Explore.space ~max_states sys, None)
-      else
-        let space, stats =
-          Mc.Pexplore.space_stats ~max_states ~domains:jobs sys
-        in
-        (space, Some stats)
+    let workstealing = if levels then Some false else None in
+    let header ppf () =
+      Format.fprintf ppf "%s%s %a%s"
+        (H.Ta_models.variant_name variant)
+        (if fixed then " [fixed]" else "")
+        H.Params.pp params
+        (if monitors then " +monitors" else "")
     in
-    Format.printf "%s%s %a%s: %a (%s)@."
-      (H.Ta_models.variant_name variant)
-      (if fixed then " [fixed]" else "")
-      H.Params.pp params
-      (if monitors then " +monitors" else "")
-      Lts.Graph.pp_stats space.Mc.Explore.lts
-      (if space.Mc.Explore.complete then "complete" else "TRUNCATED");
-    match stats with
-    | Some s when show_stats -> Format.printf "%a@." Mc.Pexplore.pp_stats s
-    | _ -> ()
+    match store with
+    | Mc.Store.Bitstate _ ->
+        if levels then
+          failwith "bitstate requires the work-stealing engine (drop --levels)";
+        let (count, complete), stats =
+          Mc.Pexplore.count_stats ~max_states ~domains:jobs ~store sys
+        in
+        Format.printf
+          "%a: %d states visited (%s; bitstate keeps no graph, counts are \
+           probabilistic lower bounds)@."
+          header () count
+          (if complete then "complete" else "TRUNCATED");
+        Format.printf "coverage: %a@." Mc.Store.pp_coverage
+          stats.Mc.Pexplore.coverage;
+        if show_stats then Format.printf "%a@." Mc.Pexplore.pp_stats stats
+    | _ ->
+        let space, stats =
+          if
+            jobs <= 1 && (not show_stats) && store = Mc.Store.Exact
+            && workstealing = None
+          then (Mc.Explore.space ~max_states sys, None)
+          else
+            let space, stats =
+              Mc.Pexplore.space_stats ~max_states ~domains:jobs ~store
+                ?workstealing sys
+            in
+            (space, Some stats)
+        in
+        Format.printf "%a: %a (%s)@." header ()
+          Lts.Graph.pp_stats space.Mc.Explore.lts
+          (if space.Mc.Explore.complete then "complete" else "TRUNCATED");
+        (match stats with
+        | Some s when store <> Mc.Store.Exact ->
+            Format.printf "coverage: %a@." Mc.Store.pp_coverage
+              s.Mc.Pexplore.coverage
+        | _ -> ());
+        (match stats with
+        | Some s when show_stats -> Format.printf "%a@." Mc.Pexplore.pp_stats s
+        | _ -> ())
   in
   Cmd.v
     (Cmd.info "stats" ~doc:"Reachable state space of a timed-automata model.")
     Term.(
       const run $ variant_arg $ tmin_arg $ tmax_arg $ n_arg $ fixed_arg
-      $ monitors_arg $ jobs_arg $ exploration_stats_arg)
+      $ monitors_arg $ jobs_arg $ exploration_stats_arg $ store_arg
+      $ levels_arg)
 
 let pa_stats_cmd =
   let reduce_arg =
@@ -188,21 +249,28 @@ let export_cmd =
       $ fixed_arg)
 
 let deadlocks_cmd =
-  let run variant tmin tmax n fixed jobs =
+  let run variant tmin tmax n fixed jobs store levels =
     let jobs = resolve_jobs jobs in
+    let workstealing = if levels then Some false else None in
     let params = H.Params.make ~n ~tmin ~tmax () in
-    let free = H.Verify.deadlock_free ~fixed ~domains:jobs variant params in
-    Format.printf "%s %a: %s@."
+    let free =
+      H.Verify.deadlock_free ~fixed ~domains:jobs ~store ?workstealing variant
+        params
+    in
+    Format.printf "%s %a: %s%s@."
       (H.Ta_models.variant_name variant)
       H.Params.pp params
-      (if free then "deadlock-free" else "HAS DEADLOCKS");
+      (if free then "deadlock-free" else "HAS DEADLOCKS")
+      (if free && store <> Mc.Store.Exact then
+         " (probabilistic: compressed store may omit states)"
+       else "");
     if not free then exit 1
   in
   Cmd.v
     (Cmd.info "deadlocks" ~doc:"Check a model for deadlocked configurations.")
     Term.(
       const run $ variant_arg $ tmin_arg $ tmax_arg $ n_arg $ fixed_arg
-      $ jobs_arg)
+      $ jobs_arg $ store_arg $ levels_arg)
 
 let () =
   let info =

@@ -180,21 +180,21 @@ let fairness_names fs =
 (* check                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let run_check variant params fixed engine req =
-  ( H.Verify.check_live ~fixed ~engine variant params req,
+let run_check ?domains variant params fixed engine req =
+  ( H.Verify.check_live ~fixed ~engine ?domains variant params req,
     Format.asprintf "%a" Ltl.Formula.pp
       (H.Requirements.live_formula variant params req) )
 
 (* The process-algebra path (--pa): same requirements, read as LTL over
    the PA action names, with the ample-set reduction available because
    those formulas are stutter-invariant. *)
-let run_pa_check variant params reduce engine json req =
+let run_pa_check ?domains variant params reduce engine json req =
   let pv =
     match H.Pa_models.of_ta variant with
     | Some pv -> pv
     | None -> assert false (* of_ta is total *)
   in
-  let verdict = H.Pa_verify.check_live ~engine ~reduce pv params req in
+  let verdict = H.Pa_verify.check_live ~engine ~reduce ?domains pv params req in
   let formula =
     Format.asprintf "%a" Ltl.Formula.pp
       (H.Requirements.live_formula_pa pv params req)
@@ -231,7 +231,12 @@ let run_pa_check variant params reduce engine json req =
   verdict
 
 let check_cmd =
-  let run variant tmin tmax n fixed pa reduce engine json msc req =
+  let run variant tmin tmax n fixed pa reduce engine json msc jobs req =
+    let domains =
+      if jobs < 0 then failwith "--jobs must be >= 0"
+      else if jobs = 0 then Domain.recommended_domain_count ()
+      else jobs
+    in
     let params = H.Params.make ~n ~tmin ~tmax () in
     if pa && fixed then begin
       Format.eprintf
@@ -246,13 +251,13 @@ let check_cmd =
       exit 2
     end;
     if pa then begin
-      match run_pa_check variant params reduce engine json req with
+      match run_pa_check ~domains variant params reduce engine json req with
       | Ltl.Check.Holds -> ()
       | Ltl.Check.Refuted _ -> exit 1
       | Ltl.Check.Unknown _ -> exit 2
     end
     else
-    let verdict, formula = run_check variant params fixed engine req in
+    let verdict, formula = run_check ~domains variant params fixed engine req in
     if json then
       print_endline
         (verdict_json ~model:"ta" ~variant ~params ~fixed ~reduce:false
@@ -325,12 +330,24 @@ let check_cmd =
           ~doc:"With --pa: explore an ample-set reduced state space \
                 (sound for these stutter-invariant formulas).")
   in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Exploration domains for the scc engine's product graph \
+             (identical verdicts and lassos; ndfs is sequential and \
+             ignores this). 0 uses all cores. Composes with --reduce via \
+             the parallel-safe cycle proviso.")
+  in
   Cmd.v
     (Cmd.info "check"
        ~doc:"Check the liveness formulation of one requirement.")
     Term.(
       const run $ variant_arg $ tmin_arg $ tmax_arg $ n_arg $ fixed_arg
-      $ pa_arg $ reduce_arg $ engine_arg $ json_arg $ msc_arg $ req_arg)
+      $ pa_arg $ reduce_arg $ engine_arg $ json_arg $ msc_arg $ jobs_arg
+      $ req_arg)
 
 (* ------------------------------------------------------------------ *)
 (* table                                                               *)

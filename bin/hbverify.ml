@@ -267,10 +267,27 @@ let stats_json ~reduce variant params =
   Buffer.add_string buf "}";
   Buffer.contents buf
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Exploration domains: 1 runs the sequential engine, more runs the \
+           work-stealing parallel engine (identical verdicts; composes with \
+           $(b,--reduce) through the parallel-safe cycle proviso). 0 uses \
+           all cores.")
+
+let resolve_jobs jobs =
+  if jobs < 0 then failwith "--jobs must be >= 0"
+  else if jobs = 0 then Domain.recommended_domain_count ()
+  else jobs
+
 let pa_check_cmd =
-  let run variant tmin tmax n reduce json req =
+  let run variant tmin tmax n reduce json jobs req =
+    let domains = resolve_jobs jobs in
     let params = H.Params.make ~n ~tmin ~tmax () in
-    let holds = H.Pa_verify.check ~reduce variant params req in
+    let holds = H.Pa_verify.check ~reduce ~domains variant params req in
     if json then
       Printf.printf
         "{\"tool\":\"hbverify\",\"model\":\"pa\",\"variant\":\"%s\",\"tmin\":%d,\"tmax\":%d,\"n\":%d,\"requirement\":\"%s\",\"reduce\":%b,\"verdict\":\"%s\",\"stats\":%s}\n"
@@ -299,7 +316,7 @@ let pa_check_cmd =
              optionally with ample-set partial-order reduction.")
     Term.(
       const run $ pa_variant_arg $ tmin_arg $ tmax_arg $ n_arg $ reduce_arg
-      $ json_arg $ req_arg)
+      $ json_arg $ jobs_arg $ req_arg)
 
 (* The soundness gate for `make por`: on every shipped variant, the
    reduced and full explorations must give the same verdict for every

@@ -99,20 +99,24 @@ let expected_of spec =
   | Lint.Interval.Finite n -> Some n
   | Lint.Interval.Unbounded -> None
 
-let check ?(max_states = default_max) ?(domains = 1) ?(reduce = false)
-    variant params req =
+let check ?(max_states = default_max) ?(domains = 1) ?(reduce = false) ?store
+    ?workstealing variant params req =
   let spec = Pa_models.build variant params in
   let sys = Proc.Semantics.system spec in
   let expected_states = expected_of spec in
+  (* reduction composes with domains > 1 through the parallel-safe
+     proviso: each reduced system is built with [~par:true] and Safety
+     is told not to force the sequential engine *)
+  let par = domains > 1 in
   let analysis = if reduce then Some (Por.analyze spec) else None in
   List.for_all
     (fun (monitor, alphabet) ->
       let reduction =
-        Option.map (fun a -> Por.reduced_system ~alphabet a) analysis
+        Option.map (fun a -> Por.reduced_system ~alphabet ~par a) analysis
       in
       match
         Mc.Safety.check_monitor ~max_states ?expected_states ~domains
-          ?reduction sys monitor
+          ?reduction ~parallel_reduction:par ?store ?workstealing sys monitor
       with
       | Mc.Safety.Holds -> true
       | Mc.Safety.Violated _ -> false
@@ -124,17 +128,22 @@ let check ?(max_states = default_max) ?(domains = 1) ?(reduce = false)
     (monitors variant params req)
 
 let state_count ?(max_states = default_max) ?(domains = 1) ?(reduce = false)
-    variant params =
+    ?store ?workstealing variant params =
   let spec = Pa_models.build variant params in
   let expected_states = expected_of spec in
+  let parallel =
+    domains > 1 || store <> None || workstealing <> None
+  in
   let count, complete =
-    if reduce then
-      Mc.Explore.count ~max_states ?expected_states
-        (Por.reduced_system (Por.analyze spec))
-    else
-      let sys = Proc.Semantics.system spec in
-      if domains <= 1 then Mc.Explore.count ~max_states ?expected_states sys
-      else Mc.Pexplore.count ~max_states ?expected_states ~domains sys
+    let sys =
+      if reduce then
+        Por.reduced_system ~par:(domains > 1) (Por.analyze spec)
+      else Proc.Semantics.system spec
+    in
+    if parallel then
+      Mc.Pexplore.count ~max_states ?expected_states ~domains
+        ?store ?workstealing sys
+    else Mc.Explore.count ~max_states ?expected_states sys
   in
   if not complete then failwith "Pa_verify.state_count: state bound exceeded";
   count
@@ -156,15 +165,15 @@ let explore ?(max_states = default_max) ?(reduce = false) variant params =
   }
 
 let check_live ?(engine = Ltl.Check.Ndfs) ?(max_states = default_max)
-    ?(reduce = false) variant params req =
+    ?(reduce = false) ?(domains = 1) ?store ?workstealing variant params req =
   let spec = Pa_models.build variant params in
   let sys = Proc.Semantics.system spec in
   let reduction =
     if reduce then
       let a = Por.analyze spec in
-      Some (fun ~alphabet -> Por.reduction a ~alphabet)
+      Some (fun ~alphabet -> Por.reduction ~par:(domains > 1) a ~alphabet)
     else None
   in
   Ltl.Check.check ~engine ~fairness:Requirements.live_fairness_pa ?reduction
-    ~max_states sys
+    ~max_states ~domains ?store ?workstealing sys
     (Requirements.live_formula_pa variant params req)

@@ -15,6 +15,8 @@ val check :
   ?max_states:int ->
   ?domains:int ->
   ?reduce:bool ->
+  ?store:Mc.Store.mode ->
+  ?workstealing:bool ->
   Pa_models.variant ->
   Params.t ->
   Requirements.requirement ->
@@ -25,13 +27,28 @@ val check :
     (default false) explores an ample-set reduced sub-structure instead
     ({!Por}), with each monitor's alphabet kept visible; the verdict is
     unchanged, counterexample traces may schedule independent actions
-    differently, and the engine is forced sequential.
+    differently.  [reduce] composes with [domains > 1]: the reduced
+    systems are then built with the parallel-safe proviso
+    ([Por.reduced_system ~par:true]) and explored in parallel.  [store]
+    and [workstealing] are forwarded to the engine ({!Mc.Safety}); a
+    [true] result under a compressed store is probabilistic in the
+    usual under-approximating sense.
     @raise Failure if the state bound (default 4 million) is exceeded. *)
 
 val state_count :
-  ?max_states:int -> ?domains:int -> ?reduce:bool -> Pa_models.variant -> Params.t -> int
+  ?max_states:int ->
+  ?domains:int ->
+  ?reduce:bool ->
+  ?store:Mc.Store.mode ->
+  ?workstealing:bool ->
+  Pa_models.variant ->
+  Params.t ->
+  int
 (** Size of the reachable state space (for tests and benchmarks); with
-    [reduce], of the reduced sub-structure. *)
+    [reduce], of the reduced sub-structure (parallel-proviso-reduced
+    when [domains > 1], so the count may differ slightly from the
+    sequential reduced count between runs — full counts are unaffected).
+    A compressed [store] under-counts on fingerprint collision. *)
 
 type explore_stats = { states : int; transitions : int; complete : bool }
 
@@ -47,6 +64,9 @@ val check_live :
   ?engine:Ltl.Check.engine ->
   ?max_states:int ->
   ?reduce:bool ->
+  ?domains:int ->
+  ?store:Mc.Store.mode ->
+  ?workstealing:bool ->
   Pa_models.variant ->
   Params.t ->
   Requirements.requirement ->
@@ -54,5 +74,8 @@ val check_live :
 (** The liveness reading of the requirement
     ({!Requirements.live_formula_pa}) under time divergence
     ({!Requirements.live_fairness_pa}).  With [reduce] the check offers
-    {!Ltl.Check.check} the partial-order reduction; the formulas pass
-    the stutter-invariance gate, so it is actually applied. *)
+    {!Ltl.Check.check} the partial-order reduction (parallel-safe when
+    [domains > 1]); the formulas pass the stutter-invariance gate, so
+    it is actually applied.  [domains], [store] and [workstealing]
+    take effect with the {!Ltl.Check.Scc} engine (see
+    {!Ltl.Check.check}). *)

@@ -14,15 +14,15 @@ let expected_of model =
   | Lint.Interval.Finite n -> Some n
   | Lint.Interval.Unbounded -> None
 
-let check ?(fixed = false) ?(max_states = default_max) ?(domains = 1) variant
-    params req =
+let check ?(fixed = false) ?(max_states = default_max) ?(domains = 1) ?store
+    ?workstealing variant params req =
   let with_r1_monitors = Requirements.needs_monitors req in
   let model = Ta_models.build ~fixed ~with_r1_monitors variant params in
   let net = Ta.Semantics.compile model in
   let bad = Requirements.bad_state variant params net req in
   match
     Mc.Safety.check_state ~max_states ?expected_states:(expected_of model)
-      ~domains (Ta.Semantics.system net) bad
+      ~domains ?store ?workstealing (Ta.Semantics.system net) bad
   with
   | Mc.Safety.Holds ->
       { holds = true; counterexample = None; states_explored = None }
@@ -35,10 +35,12 @@ let check ?(fixed = false) ?(max_states = default_max) ?(domains = 1) variant
         (Requirements.name req) Params.pp params
 
 let check_live ?(fixed = false) ?(engine = Ltl.Check.Ndfs)
-    ?(max_states = default_max) variant params req =
+    ?(max_states = default_max) ?domains ?store ?workstealing variant params
+    req =
   let model = Ta_models.build ~fixed variant params in
   let net = Ta.Semantics.compile model in
   Ltl.Check.check ~engine ~fairness:Requirements.live_fairness ~max_states
+    ?domains ?store ?workstealing
     (Ta.Semantics.system net)
     (Requirements.live_formula variant params req)
 
@@ -83,11 +85,13 @@ let worst_detection ?(fixed = false) ?(max_states = default_max)
 type row = { tmin : int; tmax : int; r1 : bool; r2 : bool; r3 : bool }
 
 let table ?(fixed = false) ?(n = 1) ?(datasets = Params.table_datasets)
-    ?(domains = 1) variant =
+    ?(domains = 1) ?store ?workstealing variant =
   List.map
     (fun (tmin, tmax) ->
       let params = Params.make ~n ~tmin ~tmax () in
-      let outcome req = (check ~fixed ~domains variant params req).holds in
+      let outcome req =
+        (check ~fixed ~domains ?store ?workstealing variant params req).holds
+      in
       {
         tmin;
         tmax;
@@ -113,15 +117,18 @@ let pp_table ppf ~header rows =
   Format.fprintf ppf "@."
 
 let deadlock_free ?(fixed = false) ?(max_states = default_max) ?(domains = 1)
-    variant params =
+    ?(store = Mc.Store.Exact) ?workstealing variant params =
   let model = Ta_models.build ~fixed variant params in
   let net = Ta.Semantics.compile model in
   let sys = Ta.Semantics.system net in
   let goal c = Ta.Semantics.successors net c = [] in
   let expected_states = expected_of model in
   match
-    if domains <= 1 then Mc.Explore.find ~max_states ?expected_states ~goal sys
-    else Mc.Pexplore.find ~max_states ?expected_states ~domains ~goal sys
+    if domains <= 1 && store = Mc.Store.Exact && workstealing = None then
+      Mc.Explore.find ~max_states ?expected_states ~goal sys
+    else
+      Mc.Pexplore.find ~max_states ?expected_states ~domains ~store
+        ?workstealing ~goal sys
   with
   | Mc.Explore.Unreachable -> true
   | Mc.Explore.Reached _ -> false

@@ -16,6 +16,8 @@ val check :
   ?fixed:bool ->
   ?max_states:int ->
   ?domains:int ->
+  ?store:Mc.Store.mode ->
+  ?workstealing:bool ->
   Ta_models.variant ->
   Params.t ->
   Requirements.requirement ->
@@ -23,12 +25,18 @@ val check :
 (** Model-check one requirement.  [domains] (default 1) selects the
     sequential or the parallel exploration engine ({!Mc.Pexplore}); the
     verdict and counterexample length are identical either way.
+    [store] and [workstealing] are forwarded to {!Mc.Safety}: a
+    compressed store makes [holds = true] probabilistic (omitted states
+    are never explored), while violations found are always real.
     @raise Failure if the state bound is exceeded (no verdict). *)
 
 val check_live :
   ?fixed:bool ->
   ?engine:Ltl.Check.engine ->
   ?max_states:int ->
+  ?domains:int ->
+  ?store:Mc.Store.mode ->
+  ?workstealing:bool ->
   Ta_models.variant ->
   Params.t ->
   Requirements.requirement ->
@@ -53,6 +61,8 @@ val table :
   ?n:int ->
   ?datasets:(int * int) list ->
   ?domains:int ->
+  ?store:Mc.Store.mode ->
+  ?workstealing:bool ->
   Ta_models.variant ->
   row list
 (** One verification row per data set (default: the paper's
@@ -74,7 +84,14 @@ val worst_detection :
     starve forever — e.g. the dynamic protocol's leave semantics). *)
 
 val deadlock_free :
-  ?fixed:bool -> ?max_states:int -> ?domains:int -> Ta_models.variant -> Params.t -> bool
+  ?fixed:bool ->
+  ?max_states:int ->
+  ?domains:int ->
+  ?store:Mc.Store.mode ->
+  ?workstealing:bool ->
+  Ta_models.variant ->
+  Params.t ->
+  bool
 (** Sanity check used by the test suite: the model has no configuration
     without successors (would indicate a modelling artefact such as a
     blocked urgent location). *)

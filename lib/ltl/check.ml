@@ -298,9 +298,16 @@ let bfs_cycle g comp c a =
    connected component containing an accepting state, then extract the
    shortest lasso into it by breadth-first search — deterministic, and
    minimal in prefix length. *)
-let scc_emptiness (type p m) (sys : (p, m) Mc.System.t)
-    ~(accepting : p -> bool) ~max_states =
-  let space = Mc.Explore.space ~max_states sys in
+let scc_emptiness (type p m) ?(domains = 1) ?(store = Mc.Store.Exact)
+    ?workstealing (sys : (p, m) Mc.System.t) ~(accepting : p -> bool)
+    ~max_states =
+  let space =
+    (* the parallel engine's replay mode reproduces Explore.space
+       byte-for-byte, so the graph (and hence the lasso) is unchanged *)
+    if domains <= 1 && store = Mc.Store.Exact && workstealing = None then
+      Mc.Explore.space ~max_states sys
+    else Mc.Pexplore.space ~max_states ~domains ~store ?workstealing sys
+  in
   let g = space.Mc.Explore.lts in
   let count, comp = Lts.Graph.scc g in
   let nontrivial = Array.make (max count 1) false in
@@ -324,7 +331,8 @@ let scc_emptiness (type p m) (sys : (p, m) Mc.System.t)
 (* ------------------------------------------------------------------ *)
 
 let check ?(engine = Ndfs) ?(stutter = Extend) ?(fairness = []) ?reduction
-    ?(max_states = Mc.Explore.default_max) sys f =
+    ?(max_states = Mc.Explore.default_max) ?domains ?store ?workstealing sys f
+    =
   let checked =
     match fairness with
     | [] -> f
@@ -351,7 +359,7 @@ let check ?(engine = Ndfs) ?(stutter = Extend) ?(fairness = []) ?reduction
   let result =
     match engine with
     | Ndfs -> ndfs_emptiness psys ~accepting ~max_states
-    | Scc -> scc_emptiness psys ~accepting ~max_states
+    | Scc -> scc_emptiness ?domains ?store ?workstealing psys ~accepting ~max_states
   in
   match result with
   | SEmpty -> Holds

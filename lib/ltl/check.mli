@@ -76,6 +76,9 @@ val check :
   ?fairness:'l fairness list ->
   ?reduction:(alphabet:string list -> ('s, 'l) Mc.System.t option) ->
   ?max_states:int ->
+  ?domains:int ->
+  ?store:Mc.Store.mode ->
+  ?workstealing:bool ->
   ('s, 'l) Mc.System.t ->
   'l Formula.t ->
   'l verdict
@@ -93,7 +96,19 @@ val check :
     verdict is unchanged by construction; lassos come from the reduced
     product, so their runs exist in the full system but may schedule
     independent actions in a different order than an unreduced search
-    would report. *)
+    would report.
+
+    [domains], [store] and [workstealing] affect the {!Scc} engine
+    only: its product graph is then built with {!Mc.Pexplore} (replay
+    mode, byte-identical to the sequential graph under the exact
+    store), so verdicts and lassos are unchanged at any domain count.
+    Combining [domains > 1] with [reduction] requires a parallel-safe
+    reduction ([Por.reduction ~par:true]).  {!Ndfs} is inherently
+    sequential (its stack colouring has no parallel analogue here) and
+    ignores all three.  A {!Store.Bitstate} store is rejected by the
+    {!Scc} engine (no state graph); {!Store.Hash_compaction} makes a
+    [Holds] verdict probabilistic in the usual under-approximating
+    sense. *)
 
 val product :
   ('s, 'l) Mc.System.t ->

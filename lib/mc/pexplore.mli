@@ -1,10 +1,25 @@
 (** Parallel explicit-state exploration (OCaml 5 domains).
 
-    A level-synchronised parallel BFS over a sharded, lock-striped state
-    table: each BFS level is split into contiguous chunks, one per domain,
-    successors are expanded per-domain and interned into the shard owning
-    their {!System.S.hash_state}, and freshly discovered states are handed
-    back in batches to form the next level.  A final sequential replay over
+    Two engines share a sharded, lock-striped state table ({!Store}):
+
+    - The {e work-stealing} engine (default): every domain owns a
+      chunked deque of work items; owners push and pop whole chunks at
+      the newest end, idle domains steal the oldest half of a victim's
+      chunks (the BFS-shallowest, hence largest, remaining subtrees).
+      Termination is detected with a global pending-item counter.  Items
+      carry BFS depth stamps that are {e relaxed} — re-enqueued with the
+      shorter depth — whenever a shorter path to a known state is found,
+      which keeps truncation under [max_states] exact: a state is only
+      skipped when its stamped depth exceeds the smallest depth whose
+      cumulative state count reaches the bound, so every state the
+      sequential engine would retain is interned and expanded.
+
+    - The {e level-synchronised} engine ([~workstealing:false]): each
+      BFS level is split into contiguous chunks, one per domain, with a
+      barrier per level.  This is the baseline the work-stealing engine
+      is benchmarked against; it does not support bitstate stores.
+
+    In the default [~replay:true] mode a final sequential replay over
     the collected integer adjacency renumbers states into canonical
     sequential BFS discovery order, so results are {e deterministic and
     byte-identical} to the sequential engine:
@@ -15,16 +30,29 @@
       [max_states] — for every domain count;
     - {!find} agrees with {!Explore.find} on the verdict constructor, on
       the witness trace length (shortest), and on {!Explore.Bound_hit}
-      truncation behaviour (the racing domains are canonicalised to a
-      minimal-depth witness);
+      truncation behaviour;
     - {!count} agrees with {!Explore.count}.
+
+    [~replay:false] skips the canonicalisation for {!space} when the
+    exploration completed within the bound: the returned space uses the
+    (non-deterministic) provisional numbering but has the same state
+    set, transition multiset and [complete] flag.  Truncated runs fall
+    back to the replay regardless.
+
+    Compressed stores ({!Store.Hash_compaction}, {!Store.Bitstate})
+    make the results {e probabilistic}: distinct states that collide are
+    conflated, which can only under-report states (and hence miss
+    violations), never over-report.  Byte-identical parity holds for
+    hash compaction up to fingerprint collisions (~2^-62 per pair at the
+    default width).  Bitstate keeps no state identities: it is rejected
+    by {!space} and by the level-synchronised engine, {!find} witnesses
+    lose the shortest-trace guarantee, and a [false] completeness flag
+    is reported whenever the bound was engaged.
 
     [domains] defaults to [Domain.recommended_domain_count ()]; [1] runs
     the whole pipeline on the calling domain.  [shards] (default 64,
     rounded up to a power of two) sets the number of lock stripes of the
-    state table.  Worker domains are spawned once per exploration and
-    synchronise per level, so the hand-off cost is two condvar round-trips
-    per BFS level. *)
+    state table. *)
 
 type stats = {
   states : int;  (** canonical (retained) states *)
@@ -33,8 +61,13 @@ type stats = {
   states_per_sec : float;
   peak_frontier : int;  (** largest BFS level *)
   depth_histogram : int array;  (** states discovered per BFS level *)
-  shard_occupancy : int array;  (** interned states per table shard *)
+  shard_occupancy : int array;  (** interned states per table stripe *)
   domains_used : int;
+  engine : string;  (** ["workstealing"] or ["levels"] *)
+  steals : int;  (** successful steal operations (work-stealing only) *)
+  relaxations : int;
+      (** depth-stamp improvements that re-enqueued a known state *)
+  coverage : Store.coverage;  (** store mode and omission estimate *)
 }
 
 val pp_stats : Format.formatter -> stats -> unit
@@ -45,19 +78,26 @@ val space :
   ?domains:int ->
   ?shards:int ->
   ?progress:(depth:int -> states:int -> frontier:int -> unit) ->
+  ?store:Store.mode ->
+  ?workstealing:bool ->
+  ?replay:bool ->
   ('s, 'l) System.t ->
   ('s, 'l) Explore.space
-(** [space sys] builds the reachable state graph in parallel.  The result
-    is byte-identical to [Explore.space ?max_states sys] regardless of
-    [domains].  [progress] is invoked once per BFS level (from the
-    coordinating domain) with the current depth, interned state count and
-    frontier size.
+(** [space sys] builds the reachable state graph in parallel.  With the
+    default exact store and [~replay:true] the result is byte-identical
+    to [Explore.space ?max_states sys] regardless of [domains] and
+    engine.  [progress] is invoked once per BFS level with the depth,
+    cumulative state count and level size (from the coordinating domain
+    in the level-synchronised engine; during the canonical replay in the
+    work-stealing engine).
 
     [expected_states] (typically the lint pass's static state bound)
     pre-sizes the lock-striped state table: the hint is clamped to
-    {!Explore.sizing_cap} and split evenly across the shards, replacing
-    the default 512-slot initial shards and the rehash-and-copy cycles
-    of growing them.  Results are unaffected. *)
+    {!Explore.sizing_cap} and split evenly across the shards.  Results
+    are unaffected.
+
+    @raise Invalid_argument on a {!Store.Bitstate} store, which cannot
+    produce a state graph. *)
 
 val space_stats :
   ?max_states:int ->
@@ -65,6 +105,9 @@ val space_stats :
   ?domains:int ->
   ?shards:int ->
   ?progress:(depth:int -> states:int -> frontier:int -> unit) ->
+  ?store:Store.mode ->
+  ?workstealing:bool ->
+  ?replay:bool ->
   ('s, 'l) System.t ->
   ('s, 'l) Explore.space * stats
 (** Like {!space}, additionally returning exploration statistics. *)
@@ -74,21 +117,45 @@ val count :
   ?expected_states:int ->
   ?domains:int ->
   ?shards:int ->
+  ?store:Store.mode ->
+  ?workstealing:bool ->
   ('s, 'l) System.t ->
   int * bool
 (** Parallel {!Explore.count}: reachable-state count plus completeness
-    flag, without retaining the graph. *)
+    flag, without retaining the graph.  Compressed stores under-count on
+    collision; bitstate is supported (work-stealing engine only) and is
+    the intended high-volume counting mode. *)
+
+val count_stats :
+  ?max_states:int ->
+  ?expected_states:int ->
+  ?domains:int ->
+  ?shards:int ->
+  ?store:Store.mode ->
+  ('s, 'l) System.t ->
+  (int * bool) * stats
+(** {!count} on the work-stealing engine, additionally returning
+    exploration statistics (including the store's {!Store.coverage}
+    estimate — the way to surface bitstate omission probabilities).
+    [stats.transitions] counts successor edges of first-time expansions,
+    and the depth histogram uses stamped depths, which both coincide
+    with the canonical values on unbounded runs. *)
 
 val find :
   ?max_states:int ->
   ?expected_states:int ->
   ?domains:int ->
   ?shards:int ->
+  ?store:Store.mode ->
+  ?workstealing:bool ->
   goal:('s -> bool) ->
   ('s, 'l) System.t ->
   ('s, 'l) Explore.verdict
-(** Parallel {!Explore.find}: domains race over each BFS level and the
+(** Parallel {!Explore.find}: domains race over the frontier and the
     winner is canonicalised to a minimal-depth witness, so [Reached]
     traces have exactly the sequential (shortest) length and replay to a
     goal state; [Unreachable] and [Bound_hit] verdicts coincide with the
-    sequential engine's. *)
+    sequential engine's.  Under a {!Store.Bitstate} store an
+    [Unreachable] verdict is probabilistic — colliding states are never
+    expanded, so a violation can be missed (never invented); see
+    {!Store.coverage} for the omission estimate. *)

@@ -24,24 +24,33 @@ let product (type s l) (sys : (s, l) System.t) (m : l Monitor.t) :
     let pp_label = S.pp_label
   end)
 
-(* Route goal searches through the sequential or the parallel engine
-   depending on the requested domain count. *)
-let run_find ?max_states ?expected_states ?(domains = 1) ~goal sys =
-  if domains <= 1 then Explore.find ?max_states ?expected_states ~goal sys
-  else Pexplore.find ?max_states ?expected_states ~domains ~goal sys
+(* Route goal searches through the sequential or the parallel engine: a
+   non-exact store or an explicit engine selection forces Pexplore even
+   on one domain (the sequential engine has no store support). *)
+let run_find ?max_states ?expected_states ?(domains = 1)
+    ?(store = Store.Exact) ?workstealing ~goal sys =
+  if domains <= 1 && store = Store.Exact && workstealing = None then
+    Explore.find ?max_states ?expected_states ~goal sys
+  else
+    Pexplore.find ?max_states ?expected_states ~domains ~store ?workstealing
+      ~goal sys
 
-(* A reduced replacement system forces the sequential engine: stateful
-   reducers (the cycle proviso's seen-set) need a deterministic call
-   order, which Pexplore does not provide. *)
-let apply_reduction reduction domains sys =
-  match reduction with None -> (sys, domains) | Some reduced -> (reduced, Some 1)
+(* A reduced replacement system built with the sequential proviso forces
+   the sequential engine: its seen-set needs a deterministic call order.
+   When the caller vouches the reduction uses the parallel-safe proviso
+   ([Por.reduced_system ~par:true]), the requested domain count stands. *)
+let apply_reduction reduction ~parallel_reduction domains sys =
+  match reduction with
+  | None -> (sys, domains)
+  | Some reduced -> (reduced, if parallel_reduction then domains else Some 1)
 
 let check_monitor (type s l) ?max_states ?expected_states ?domains ?reduction
-    (sys : (s, l) System.t) (m : l Monitor.t) : l verdict =
-  let sys, domains = apply_reduction reduction domains sys in
+    ?(parallel_reduction = false) ?store ?workstealing (sys : (s, l) System.t)
+    (m : l Monitor.t) : l verdict =
+  let sys, domains = apply_reduction reduction ~parallel_reduction domains sys in
   let prod = product sys m in
   match
-    run_find ?max_states ?expected_states ?domains
+    run_find ?max_states ?expected_states ?domains ?store ?workstealing
       ~goal:(fun (_, q) -> m.Monitor.accepting q)
       prod
   with
@@ -49,14 +58,19 @@ let check_monitor (type s l) ?max_states ?expected_states ?domains ?reduction
   | Explore.Reached w -> Violated w.Explore.trace
   | Explore.Bound_hit n -> Unknown n
 
-let check_forbidden ?max_states ?expected_states ?domains ?reduction sys r =
-  check_monitor ?max_states ?expected_states ?domains ?reduction sys
-    (Regex.compile r)
+let check_forbidden ?max_states ?expected_states ?domains ?reduction
+    ?parallel_reduction ?store ?workstealing sys r =
+  check_monitor ?max_states ?expected_states ?domains ?reduction
+    ?parallel_reduction ?store ?workstealing sys (Regex.compile r)
 
 let check_state (type s l) ?max_states ?expected_states ?domains ?reduction
-    (sys : (s, l) System.t) bad : l verdict =
-  let sys, domains = apply_reduction reduction domains sys in
-  match run_find ?max_states ?expected_states ?domains ~goal:bad sys with
+    ?(parallel_reduction = false) ?store ?workstealing (sys : (s, l) System.t)
+    bad : l verdict =
+  let sys, domains = apply_reduction reduction ~parallel_reduction domains sys in
+  match
+    run_find ?max_states ?expected_states ?domains ?store ?workstealing
+      ~goal:bad sys
+  with
   | Explore.Unreachable -> Holds
   | Explore.Reached w -> Violated w.Explore.trace
   | Explore.Bound_hit n -> Unknown n

@@ -16,6 +16,9 @@ val check_monitor :
   ?expected_states:int ->
   ?domains:int ->
   ?reduction:('s, 'l) System.t ->
+  ?parallel_reduction:bool ->
+  ?store:Store.mode ->
+  ?workstealing:bool ->
   ('s, 'l) System.t ->
   'l Monitor.t ->
   'l verdict
@@ -27,6 +30,18 @@ val check_monitor :
     is forwarded to the engine as a table pre-sizing hint (see
     {!Pexplore.space}); it never affects verdicts.
 
+    [store] (default {!Store.Exact}) selects the state-storage mode; any
+    non-exact store routes through {!Pexplore} even on one domain.  A
+    {!Holds} verdict obtained under {!Store.Hash_compaction} or
+    {!Store.Bitstate} is {e probabilistic}: fingerprint-colliding states
+    are conflated and never expanded, so a violation reachable only
+    through an omitted state is missed — "no violation" then means "no
+    violation in the covered fraction of the space" (the omission
+    estimate is {!Store.coverage}; surface it via
+    {!Pexplore.count_stats}).  A [Violated] verdict is always real: its
+    trace replays on the uncompressed system.  [workstealing] picks the
+    {!Pexplore} engine variant explicitly (default: work-stealing).
+
     [reduction], when given, is explored {e in place of} [sys].  The
     caller guarantees it is a sound reduction of [sys] for this
     monitor's alphabet (e.g. [Por.reduced_system ~alphabet] over the
@@ -34,14 +49,22 @@ val check_monitor :
     monitors).  The verdict is then unchanged, but a [Violated] trace
     may order independent actions differently and, under a tight
     [max_states], an [Unknown] full run may become a conclusive reduced
-    one (fewer states to visit).  Implies [domains = 1]: stateful
-    reducers need the deterministic sequential call order. *)
+    one (fewer states to visit).  By default a reduction implies
+    [domains = 1]: the sequential cycle proviso's seen-set needs the
+    deterministic sequential call order.  Pass
+    [~parallel_reduction:true] {e only} when the reduction was built
+    with the parallel-safe proviso ([Por.reduced_system ~par:true] /
+    [Por.reduction ~par:true]); the requested [domains] then stands and
+    the reduced product is explored in parallel. *)
 
 val check_forbidden :
   ?max_states:int ->
   ?expected_states:int ->
   ?domains:int ->
   ?reduction:('s, 'l) System.t ->
+  ?parallel_reduction:bool ->
+  ?store:Store.mode ->
+  ?workstealing:bool ->
   ('s, 'l) System.t ->
   'l Regex.t ->
   'l verdict
@@ -53,6 +76,9 @@ val check_state :
   ?expected_states:int ->
   ?domains:int ->
   ?reduction:('s, 'l) System.t ->
+  ?parallel_reduction:bool ->
+  ?store:Store.mode ->
+  ?workstealing:bool ->
   ('s, 'l) System.t ->
   ('s -> bool) ->
   'l verdict

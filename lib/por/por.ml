@@ -273,6 +273,7 @@ type stats = {
   mutable no_refuser : int;
   mutable proviso_blocked : int;
   mutable visible_blocked : int;
+  mutable cross_domain_blocked : int;
 }
 
 module H = Hashtbl.Make (struct
@@ -289,13 +290,31 @@ module TH = Hashtbl.Make (struct
   let hash t = Hashtbl.hash_param 128 256 t
 end)
 
-let reduced_successors (a : analysis) ~alphabet :
+let nstripes = 64
+
+let reduced_successors ?(par = false) (a : analysis) ~alphabet :
     (Sem.state -> (Sem.label * Sem.state) list) * stats =
   let c = a.compiled in
   let prop = SSet.of_list alphabet in
   let visible_prop l = SSet.mem (Sem.label_name l) prop in
   let stats =
-    { states = 0; ample_states = 0; no_refuser = 0; proviso_blocked = 0; visible_blocked = 0 }
+    {
+      states = 0;
+      ample_states = 0;
+      no_refuser = 0;
+      proviso_blocked = 0;
+      visible_blocked = 0;
+      cross_domain_blocked = 0;
+    }
+  in
+  let smu = Mutex.create () in
+  let with_stats f =
+    if par then begin
+      Mutex.lock smu;
+      f ();
+      Mutex.unlock smu
+    end
+    else f ()
   in
   (* Discovery indices for the cycle proviso: every state this system
      has handed out or been asked about gets a sequence number when
@@ -312,6 +331,30 @@ let reduced_successors (a : analysis) ~alphabet :
   let seen : int H.t = H.create 4096 in
   let next_disc = ref 0 in
   let memo : (Sem.label * Sem.state) list H.t = H.create 4096 in
+  (* Parallel ([par = true]) variants of [seen]/[memo]: lock-striped
+     tables safe to drive from several domains at once, e.g. from the
+     work-stealing explorer.  The sequential soundness argument above
+     survives any interleaving because the discovery counter is fetched
+     {e inside} the owning stripe's lock: the in-lock fetches are
+     totally ordered, so a [None] answer read under the lock implies the
+     state's eventual stamp strictly exceeds every stamp already handed
+     out — in particular the reader's own [disc].  On an all-reduced
+     cycle in the final (memoized, winner-takes-all) relation, the
+     minimal-stamp state therefore cannot have been invisible to its
+     cycle predecessor's winning expansion, which must have seen the
+     back edge and fully expanded.  Each stamp also records the domain
+     that minted it; a back edge whose stamp was minted by another
+     domain is counted in [cross_domain_blocked] — the full expansion it
+     forces is the conservative fallback on cross-domain edges. *)
+  let locks = Array.init (if par then nstripes else 0) (fun _ -> Mutex.create ()) in
+  let seen_p : (int * int) H.t array =
+    Array.init (if par then nstripes else 0) (fun _ -> H.create 64)
+  in
+  let memo_p : (Sem.label * Sem.state) list H.t array =
+    Array.init (if par then nstripes else 0) (fun _ -> H.create 64)
+  in
+  let next_disc_p = Atomic.make 0 in
+  let stripe s = Sem.hash_state s land max_int land (nstripes - 1) in
   (* Future offers of a configuration: every action name it could ever
      offer again, over-approximated syntactically — the prefix names of
      its own term plus those of every definition reachable from its
@@ -322,9 +365,13 @@ let reduced_successors (a : analysis) ~alphabet :
      enabling that handshake.  Memoized per term (environments don't
      affect names). *)
   let future_cache : SSet.t TH.t = TH.create 256 in
+  let fmu = Mutex.create () in
   let future_offers comp =
     let t = Sem.component_term comp in
-    match TH.find_opt future_cache t with
+    if par then Mutex.lock fmu;
+    let cached = TH.find_opt future_cache t in
+    if par then Mutex.unlock fmu;
+    match cached with
     | Some set -> set
     | None ->
         let roots = SSet.elements (Lint_pa.callees SSet.empty t) in
@@ -333,16 +380,42 @@ let reduced_successors (a : analysis) ~alphabet :
             (Lint_pa.offered SSet.empty t)
             (Lint_pa.offered_by a.defs (Lint_pa.reachable_from a.defs roots))
         in
-        TH.add future_cache t set;
+        if par then Mutex.lock fmu;
+        if not (TH.mem future_cache t) then TH.add future_cache t set;
+        if par then Mutex.unlock fmu;
         set
   in
   let note s =
-    if not (H.mem seen s) then begin
+    if par then begin
+      let k = stripe s in
+      Mutex.lock locks.(k);
+      (match H.find_opt seen_p.(k) s with
+      | Some _ -> ()
+      | None ->
+          (* counter fetched inside the stripe lock — see the soundness
+             comment at [seen_p] *)
+          let d = Atomic.fetch_and_add next_disc_p 1 in
+          H.add seen_p.(k) s (d, (Domain.self () :> int)));
+      Mutex.unlock locks.(k)
+    end
+    else if not (H.mem seen s) then begin
       H.add seen s !next_disc;
       incr next_disc
     end
   in
-  let expand (s : Sem.state) ~disc : (Sem.label * Sem.state) list =
+  (* Stamp and minting domain of a noted state; [None] means "discovered
+     strictly later than any stamp already read" (see [seen_p]). *)
+  let disc_of s =
+    if par then begin
+      let k = stripe s in
+      Mutex.lock locks.(k);
+      let r = H.find_opt seen_p.(k) s in
+      Mutex.unlock locks.(k);
+      r
+    end
+    else Option.map (fun d -> (d, 0)) (H.find_opt seen s)
+  in
+  let expand (s : Sem.state) ~disc ~mydom : (Sem.label * Sem.state) list =
     let n = Array.length s in
     let locals = Array.map (Sem.component_steps c) s in
     let future = Array.map future_offers s in
@@ -427,6 +500,7 @@ let reduced_successors (a : analysis) ~alphabet :
       if !ok then Some (List.rev !acc) else None
     in
     let depth = ref 0 in
+    let cross_seen = ref false in
     let try_seed seed =
       let in_g = group seed in
       let tick_refused =
@@ -450,8 +524,13 @@ let reduced_successors (a : analysis) ~alphabet :
             if a.zeno_suspects = [] then Some amples
             else
               let back (_, s') =
-                match H.find_opt seen s' with
-                | Some d -> d <= disc
+                match disc_of s' with
+                | Some (d, dom) ->
+                    if d <= disc then begin
+                      if dom <> mydom then cross_seen := true;
+                      true
+                    end
+                    else false
                 | None -> false
               in
               if List.exists back amples then ((if !depth < 2 then depth := 2); None)
@@ -475,31 +554,66 @@ let reduced_successors (a : analysis) ~alphabet :
     done;
     match !best with
     | Some (_, amples) ->
-        stats.ample_states <- stats.ample_states + 1;
+        with_stats (fun () -> stats.ample_states <- stats.ample_states + 1);
         amples
     | None ->
-        (match !depth with
-        | 0 -> stats.no_refuser <- stats.no_refuser + 1
-        | 1 -> stats.visible_blocked <- stats.visible_blocked + 1
-        | _ -> stats.proviso_blocked <- stats.proviso_blocked + 1);
+        with_stats (fun () ->
+            match !depth with
+            | 0 -> stats.no_refuser <- stats.no_refuser + 1
+            | 1 -> stats.visible_blocked <- stats.visible_blocked + 1
+            | _ ->
+                stats.proviso_blocked <- stats.proviso_blocked + 1;
+                if !cross_seen then
+                  stats.cross_domain_blocked <- stats.cross_domain_blocked + 1);
         Sem.successors_from c locals s
   in
-  let successors s =
+  let successors_seq s =
     match H.find_opt memo s with
     | Some r -> r
     | None ->
         note s;
         stats.states <- stats.states + 1;
-        let result = expand s ~disc:(H.find seen s) in
+        let result = expand s ~disc:(H.find seen s) ~mydom:0 in
         List.iter (fun (_, s') -> note s') result;
         H.add memo s result;
         result
   in
-  (successors, stats)
+  (* Parallel variant: expansions are computed outside the locks and
+     installed into the memo winner-takes-all, so racing domains may
+     both expand a state but every caller observes the single winning
+     expansion — the reduced relation stays a function of the state
+     within a run.  [stats.states] consequently counts expansion
+     computations, which can slightly exceed the number of distinct
+     reduced states under races. *)
+  let successors_par s =
+    let k = stripe s in
+    Mutex.lock locks.(k);
+    let cached = H.find_opt memo_p.(k) s in
+    Mutex.unlock locks.(k);
+    match cached with
+    | Some r -> r
+    | None ->
+        note s;
+        let disc = match disc_of s with Some (d, _) -> d | None -> assert false in
+        with_stats (fun () -> stats.states <- stats.states + 1);
+        let result = expand s ~disc ~mydom:(Domain.self () :> int) in
+        List.iter (fun (_, s') -> note s') result;
+        Mutex.lock locks.(k);
+        let final =
+          match H.find_opt memo_p.(k) s with
+          | Some winner -> winner
+          | None ->
+              H.add memo_p.(k) s result;
+              result
+        in
+        Mutex.unlock locks.(k);
+        final
+  in
+  ((if par then successors_par else successors_seq), stats)
 
-let reduced_system_stats ?(alphabet = []) (a : analysis) :
+let reduced_system_stats ?(alphabet = []) ?par (a : analysis) :
     (Sem.state, Sem.label) Mc.System.t * stats =
-  let successors, stats = reduced_successors a ~alphabet in
+  let successors, stats = reduced_successors ?par a ~alphabet in
   let sys : (Sem.state, Sem.label) Mc.System.t =
     (module struct
       type state = Sem.state
@@ -515,8 +629,8 @@ let reduced_system_stats ?(alphabet = []) (a : analysis) :
   in
   (sys, stats)
 
-let reduced_system ?alphabet a = fst (reduced_system_stats ?alphabet a)
-let reduction a ~alphabet = Some (reduced_system ~alphabet a)
+let reduced_system ?alphabet ?par a = fst (reduced_system_stats ?alphabet ?par a)
+let reduction ?par a ~alphabet = Some (reduced_system ~alphabet ?par a)
 
 (* --- hblint report section -------------------------------------------- *)
 

@@ -7,6 +7,7 @@ let () =
       Test_mc.tests;
       Test_ltl.tests;
       Test_pexplore.tests;
+      Test_store.tests;
       Test_proc.tests;
       Test_ta.tests;
       Test_sim.tests;

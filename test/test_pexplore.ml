@@ -233,6 +233,123 @@ let test_heartbeat_find_parity () =
         domain_counts
   | _ -> Alcotest.fail "expected P0 inactivation to be reachable"
 
+(* ------------------------------------------------------------------ *)
+(* Stores x engines: compression and the legacy level-sync engine.      *)
+(* ------------------------------------------------------------------ *)
+
+let pid_stores = [ Mc.Store.exact; Mc.Store.hash_compaction ]
+
+(* Property (d): both engines (work-stealing and the level-synchronised
+   baseline), both pid-tracking stores, every domain count: spaces are
+   structurally equal to the sequential oracle (62-bit fingerprints have
+   ~2^-62 collision odds per state pair, so hash compaction is exact on
+   these spaces) and count/find verdicts agree. *)
+let prop_store_engine_parity =
+  QCheck.Test.make ~name:"stores x engines x domains parity vs Mc.Explore"
+    ~count:60
+    QCheck.(pair rand_sys_arb small_nat)
+    (fun (rs, g) ->
+      let sys = table_system rs in
+      let goal s = s = g mod rs.n in
+      let seq_space = Mc.Explore.space sys in
+      let seq_count = Mc.Explore.count sys in
+      let seq_find = Mc.Explore.find ~goal sys in
+      List.for_all
+        (fun workstealing ->
+          List.for_all
+            (fun store ->
+              List.for_all
+                (fun d ->
+                  same_space seq_space
+                    (Mc.Pexplore.space ~domains:d ~store ~workstealing sys)
+                  && seq_count
+                     = Mc.Pexplore.count ~domains:d ~store ~workstealing sys
+                  &&
+                  match
+                    ( seq_find,
+                      Mc.Pexplore.find ~domains:d ~store ~workstealing ~goal
+                        sys )
+                  with
+                  | Mc.Explore.Unreachable, Mc.Explore.Unreachable -> true
+                  | Mc.Explore.Reached w, Mc.Explore.Reached w' ->
+                      List.length w.Mc.Explore.trace
+                      = List.length w'.Mc.Explore.trace
+                      && trace_reaches rs ~goal w'.Mc.Explore.trace
+                  | Mc.Explore.Bound_hit n, Mc.Explore.Bound_hit n' -> n = n'
+                  | _ -> false)
+                domain_counts)
+            pid_stores)
+        [ true; false ])
+
+(* The process-algebra protocol models under the same matrix: the spaces
+   must be byte-identical to the sequential engine's (random PA specs are
+   exercised by the POR suite; here the shipped variants pin the real
+   state shapes — nested records, lists — through the marshalling
+   fingerprint path). *)
+let test_pa_store_engine_byte_identical () =
+  let params = Heartbeat.Params.make ~tmin:1 ~tmax:3 () in
+  List.iter
+    (fun variant ->
+      let spec = Heartbeat.Pa_models.build variant params in
+      let sys = Proc.Semantics.system spec in
+      (* No_sharing: PA states physically share subterms with whichever
+         parent produced them first, which differs between engines even
+         for structurally identical spaces *)
+      let bytes_of (s : (_, _) Mc.Explore.space) =
+        Marshal.to_string
+          (s.Mc.Explore.lts, s.Mc.Explore.states, s.Mc.Explore.complete)
+          [ Marshal.No_sharing ]
+      in
+      let seq = bytes_of (Mc.Explore.space sys) in
+      List.iter
+        (fun workstealing ->
+          List.iter
+            (fun store ->
+              List.iter
+                (fun d ->
+                  check Alcotest.bool
+                    (Printf.sprintf "%s ws=%b %s d=%d byte-identical"
+                       (Heartbeat.Pa_models.variant_name variant)
+                       workstealing
+                       (Mc.Store.mode_name store)
+                       d)
+                    true
+                    (String.equal seq
+                       (bytes_of
+                          (Mc.Pexplore.space ~domains:d ~store ~workstealing
+                             sys))))
+                domain_counts)
+            pid_stores)
+        [ true; false ])
+    [ Heartbeat.Pa_models.Binary; Heartbeat.Pa_models.Static ]
+
+let test_noreplay_same_structure () =
+  (* replay:false skips canonical renumbering on completed runs: the
+     numbering is free but the state set, the counts and the complete
+     flag must still match the sequential engine *)
+  let sys = heartbeat_system () in
+  let seq = Mc.Explore.space sys in
+  let seq_set = List.sort compare (Array.to_list seq.Mc.Explore.states) in
+  List.iter
+    (fun d ->
+      let par = Mc.Pexplore.space ~replay:false ~domains:d sys in
+      check Alcotest.bool
+        (Printf.sprintf "complete at %d domains" d)
+        true par.Mc.Explore.complete;
+      check Alcotest.int
+        (Printf.sprintf "state count at %d domains" d)
+        (Lts.Graph.num_states seq.Mc.Explore.lts)
+        (Lts.Graph.num_states par.Mc.Explore.lts);
+      check Alcotest.int
+        (Printf.sprintf "transition count at %d domains" d)
+        (Lts.Graph.num_transitions seq.Mc.Explore.lts)
+        (Lts.Graph.num_transitions par.Mc.Explore.lts);
+      check Alcotest.bool
+        (Printf.sprintf "same state set at %d domains" d)
+        true
+        (seq_set = List.sort compare (Array.to_list par.Mc.Explore.states)))
+    domain_counts
+
 let test_stats_consistency () =
   let sys = counter 500 in
   let space, stats = Mc.Pexplore.space_stats ~domains:2 sys in
@@ -273,6 +390,11 @@ let tests =
         test_heartbeat_truncated_parity;
       Alcotest.test_case "binary heartbeat find parity" `Quick
         test_heartbeat_find_parity;
+      QCheck_alcotest.to_alcotest prop_store_engine_parity;
+      Alcotest.test_case "PA models: stores x engines byte-identical" `Quick
+        test_pa_store_engine_byte_identical;
+      Alcotest.test_case "replay:false keeps the structure" `Quick
+        test_noreplay_same_structure;
       Alcotest.test_case "exploration stats consistency" `Quick
         test_stats_consistency;
       Alcotest.test_case "progress callback" `Quick test_progress_callback;

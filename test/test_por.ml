@@ -282,6 +282,118 @@ let test_zeno_suspects_detected () =
   check Alcotest.(list int) "component 0 suspected" [ 0 ]
     (Por.zeno_suspects a)
 
+(* --- the parallel-safe proviso --------------------------------------- *)
+
+(* Satellite gate: monitor verdicts agree full vs par-reduced at 1 and 4
+   domains.  The par proviso judges back edges against lock-striped
+   discovery stamps instead of the sequential seen-set, so only verdict
+   parity (not byte parity) is promised — which is exactly what this
+   property checks, including counterexample replayability. *)
+let prop_parallel_safety_parity =
+  QCheck.Test.make
+    ~name:"monitor verdicts agree full vs par-reduced (d in {1,4})" ~count:60
+    random_spec (fun spec ->
+      let a = Por.analyze spec in
+      let sys = Sem.system spec in
+      List.for_all
+        (fun (monitor, alphabet) ->
+          let full = Mc.Safety.check_monitor ~max_states sys monitor in
+          List.for_all
+            (fun domains ->
+              let red =
+                Mc.Safety.check_monitor ~max_states
+                  ~reduction:(Por.reduced_system ~alphabet ~par:true a)
+                  ~parallel_reduction:true ~domains sys monitor
+              in
+              match (full, red) with
+              | Mc.Safety.Holds, Mc.Safety.Holds -> true
+              | Mc.Safety.Violated _, Mc.Safety.Violated trace ->
+                  replayable sys trace
+              | _ -> false)
+            [ 1; 4 ])
+        sample_monitors)
+
+let test_variant_parallel_reduced_parity () =
+  (* the shipped protocols through the whole stack: Pa_verify.check with
+     reduce composes with domains > 1 via the parallel proviso *)
+  let params = Heartbeat.Params.make ~tmin:2 ~tmax:3 () in
+  List.iter
+    (fun v ->
+      List.iter
+        (fun req ->
+          let full = Heartbeat.Pa_verify.check v params req in
+          List.iter
+            (fun domains ->
+              check Alcotest.bool
+                (Printf.sprintf "%s %s full = par-reduced at %d domains"
+                   (Heartbeat.Pa_models.variant_name v)
+                   (Heartbeat.Requirements.name req)
+                   domains)
+                full
+                (Heartbeat.Pa_verify.check ~reduce:true ~domains v params req))
+            [ 1; 4 ])
+        Heartbeat.Requirements.all)
+    [ Heartbeat.Pa_models.Binary; Heartbeat.Pa_models.Static ]
+
+let test_cross_domain_fallback_pinned () =
+  (* Pinned regression for the conservative cross-domain fallback.
+
+     C0/D0 is a hidden tick-free 2-cycle (a genuine zeno suspect, so the
+     runtime proviso is live); C1 is a visible self-loop kept out of
+     every ample set by the alphabet.  A spawned domain expands the
+     initial state, stamping it and its ample successor under that
+     domain's id.  The main domain then expands the successor: its only
+     ample candidate is the back edge to the initial state, whose stamp
+     was minted by the other domain — the proviso must take the
+     conservative full expansion and count it. *)
+  let spec =
+    {
+      Proc.Spec.defs =
+        [
+          T.def "C0" [] (T.Prefix (T.act "h0" [], T.call "D0" []));
+          T.def "D0" [] (T.Prefix (T.act "h0" [], T.call "C0" []));
+          T.def "C1" [] (T.Prefix (T.act "v1" [], T.call "C1" []));
+        ];
+      init = [ ("C0", []); ("C1", []) ];
+      comms = [];
+      allow = [ "v1" ];
+      hide = [ "h0" ];
+    }
+  in
+  let a = Por.analyze spec in
+  check Alcotest.bool "the hidden loop is a zeno suspect" false
+    (Por.zeno_free a);
+  let rsys, stats = Por.reduced_system_stats ~alphabet:[ "v1" ] ~par:true a in
+  let module R =
+    (val rsys : Mc.System.S
+           with type state = Sem.state
+            and type label = Sem.label)
+  in
+  (* another domain expands the initial state... *)
+  let succs0 = Domain.join (Domain.spawn (fun () -> R.successors R.initial)) in
+  check Alcotest.bool "initial state was ample-reduced" true
+    (List.length succs0 = 1);
+  check Alcotest.int "no cross-domain back edge yet" 0
+    stats.Por.cross_domain_blocked;
+  (* ...and the main domain expands its successor, closing the cycle *)
+  let next = snd (List.hd succs0) in
+  let succs1 = R.successors next in
+  check Alcotest.bool "fallback fully expands the cycle-closing state" true
+    (List.length succs1 >= 2);
+  check Alcotest.bool "cross-domain fallback was taken and counted" true
+    (stats.Por.cross_domain_blocked >= 1);
+  check Alcotest.bool "it was a proviso block" true
+    (stats.Por.proviso_blocked >= 1)
+
+let test_sequential_proviso_never_cross () =
+  (* the sequential proviso can never see a foreign stamp *)
+  let params = Heartbeat.Params.make ~tmin:2 ~tmax:3 () in
+  let a = Por.analyze (Heartbeat.Pa_models.build Heartbeat.Pa_models.Binary params) in
+  let rsys, stats = Por.reduced_system_stats a in
+  let _ = explore_counts rsys in
+  check Alcotest.int "cross_domain_blocked is 0 sequentially" 0
+    stats.Por.cross_domain_blocked
+
 (* --- the stutter-invariance gate ------------------------------------- *)
 
 let test_stutter_classifier () =
@@ -356,6 +468,13 @@ let tests =
         test_variants_zeno_free;
       Alcotest.test_case "zeno suspects detected" `Quick
         test_zeno_suspects_detected;
+      Alcotest.test_case "shipped variants: parallel reduced parity" `Quick
+        test_variant_parallel_reduced_parity;
+      Alcotest.test_case "cross-domain proviso fallback (pinned)" `Quick
+        test_cross_domain_fallback_pinned;
+      Alcotest.test_case "sequential proviso never cross-domain" `Quick
+        test_sequential_proviso_never_cross;
+      QCheck_alcotest.to_alcotest prop_parallel_safety_parity;
       Alcotest.test_case "stutter classifier" `Quick test_stutter_classifier;
       Alcotest.test_case "truncation is deterministic" `Quick
         test_truncated_reduction_deterministic;
