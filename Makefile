@@ -1,6 +1,6 @@
 DUNE ?= dune
 
-.PHONY: all build test bench bench-parallel faults lint ltl por par clean fmt
+.PHONY: all build test bench bench-parallel faults lint ltl por par resilience clean fmt
 
 all: build
 
@@ -64,6 +64,27 @@ par:
 	$(DUNE) exec test/main.exe -- test pexplore
 	$(DUNE) exec test/main.exe -- test store
 	$(DUNE) exec test/main.exe -- test por
+
+# Resilience gate: the budget/checkpoint/degradation/quarantine suite
+# (qcheck suspend/resume round trips, store-ladder degradation, raising
+# successors quarantined at 4 domains), then a live interrupt smoke —
+# SIGINT a running hbexplore mid-exploration, require the partial
+# report (exit 4) plus a checkpoint, and resume it to a byte-identical
+# result.
+resilience:
+	$(DUNE) exec test/main.exe -- test resilience
+	$(DUNE) build bin/hbexplore.exe
+	rm -f _build/hbres.ck
+	timeout 300 _build/default/bin/hbexplore.exe stats -v dynamic --tmax 40 \
+	  > _build/hbres-clean.out
+	timeout --preserve-status -s INT 0.4 \
+	  _build/default/bin/hbexplore.exe stats -v dynamic --tmax 40 \
+	  --checkpoint _build/hbres.ck > _build/hbres-int.out 2>/dev/null; \
+	  test $$? -eq 4
+	test -f _build/hbres.ck
+	timeout 300 _build/default/bin/hbexplore.exe stats -v dynamic --tmax 40 \
+	  --resume _build/hbres.ck > _build/hbres-resumed.out 2>/dev/null
+	cmp _build/hbres-clean.out _build/hbres-resumed.out
 
 # Just the sequential-vs-parallel exploration comparison.
 bench-parallel:

@@ -445,6 +445,149 @@ let pr6_report () =
   Format.printf "wrote BENCH_pr6.json@."
 
 (* ------------------------------------------------------------------ *)
+(* Part 1e: resilience costs — BENCH_pr7.json                           *)
+(* ------------------------------------------------------------------ *)
+
+(* What the resilience layer costs when nothing goes wrong, and what it
+   buys when something does: budget-poll overhead on a clean run, wall
+   time of forced degradation-ladder walks, and checkpoint
+   write/restore cost at the half-explored point — all on the dynamic
+   n=1 model, the largest shipped TA space. *)
+let pr7_report () =
+  let params = H.Params.make ~tmin:1 ~tmax:40 () in
+  let sys =
+    Ta.Semantics.system
+      (Ta.Semantics.compile (H.Ta_models.build H.Ta_models.Dynamic params))
+  in
+  Format.printf
+    "@.=== PR7: resilience costs (dynamic n=1, tmin=1 tmax=40) ===@.@.";
+  let (seq : (Ta.Semantics.config, Ta.Semantics.label) Mc.Explore.space),
+      t_plain =
+    time_best 3 (fun () -> Mc.Explore.space sys)
+  in
+  let states = Lts.Graph.num_states seq.Mc.Explore.lts in
+  let seq_bytes =
+    Marshal.to_string
+      (seq.Mc.Explore.lts, seq.Mc.Explore.states, seq.Mc.Explore.complete)
+      [ Marshal.No_sharing ]
+  in
+  let _, t_budget =
+    time_best 3 (fun () ->
+        Mc.Explore.space_run ~budget:(Mc.Budget.unlimited ()) sys)
+  in
+  let seq_overhead = (t_budget -. t_plain) /. t_plain in
+  Format.printf
+    "sequential %d states: plain %.3fs, budgeted %.3fs (%+.1f%% poll \
+     overhead)@."
+    states t_plain t_budget (100. *. seq_overhead);
+  let _, t_par_plain =
+    time_best 3 (fun () -> Mc.Pexplore.count ~domains:4 sys)
+  in
+  let _, t_par_budget =
+    time_best 3 (fun () ->
+        Mc.Pexplore.count ~domains:4 ~budget:(Mc.Budget.unlimited ()) sys)
+  in
+  let par_overhead = (t_par_budget -. t_par_plain) /. t_par_plain in
+  Format.printf
+    "parallel count (4 dom): plain %.3fs, budgeted %.3fs (%+.1f%% poll \
+     overhead)@."
+    t_par_plain t_par_budget (100. *. par_overhead);
+  (* forced degradation: a probe that reports a memory trip exactly
+     [shots] times walks the store that many rungs down the ladder *)
+  let memory_shots shots =
+    let left = Atomic.make shots in
+    Mc.Budget.make
+      ~probe:(fun () ->
+        if Atomic.fetch_and_add left (-1) > 0 then Some (Mc.Budget.Memory 1)
+        else None)
+      ~check_every:1 ()
+  in
+  let ladder shots =
+    let ((count, complete), stats), t =
+      time (fun () ->
+          Mc.Pexplore.count_stats ~domains:4 ~budget:(memory_shots shots) sys)
+    in
+    Format.printf "ladder x%d (%s): %d states %s in %.3fs@." shots
+      (String.concat " -> " ("exact" :: stats.Mc.Pexplore.degraded))
+      count
+      (if complete then "complete" else "PARTIAL")
+      t;
+    (shots, stats.Mc.Pexplore.degraded, count, complete, t)
+  in
+  let lad1 = ladder 1 in
+  let lad2 = ladder 2 in
+  let ladders = [ lad1; lad2 ] in
+  (* checkpoint cost at the half-explored point *)
+  let stop_at_half =
+    let left = Atomic.make (states / 2) in
+    Mc.Budget.make
+      ~probe:(fun () ->
+        if Atomic.fetch_and_add left (-1) > 0 then None
+        else Some Mc.Budget.Cancelled)
+      ~check_every:1 ()
+  in
+  match Mc.Explore.space_run ~budget:stop_at_half sys with
+  | Mc.Explore.Done _ -> failwith "pr7 bench: expected a suspension"
+  | Mc.Explore.Suspended (_, cur) ->
+      let file = Filename.temp_file "hbckpt" ".ck" in
+      let kind = "bench/pr7/dynamic" in
+      let (), t_save = time (fun () -> Mc.Checkpoint.save ~file ~kind cur) in
+      let size = (Unix.stat file).Unix.st_size in
+      let (cur' : (Ta.Semantics.config, Ta.Semantics.label) Mc.Explore.cursor),
+          t_load =
+        time (fun () ->
+            match Mc.Checkpoint.load ~file ~kind with
+            | Ok c -> c
+            | Error e -> failwith e)
+      in
+      Sys.remove file;
+      let r, t_resume = time (fun () -> Mc.Explore.space_run ~resume:cur' sys) in
+      let resumed_identical =
+        match r with
+        | Mc.Explore.Done sp ->
+            String.equal seq_bytes
+              (Marshal.to_string
+                 (sp.Mc.Explore.lts, sp.Mc.Explore.states, sp.Mc.Explore.complete)
+                 [ Marshal.No_sharing ])
+        | Mc.Explore.Suspended _ -> false
+      in
+      Format.printf
+        "checkpoint at %d/%d states: save %.3fs (%d bytes), load %.3fs, \
+         resume %.3fs, %s@."
+        (Mc.Explore.cursor_states cur)
+        states t_save size t_load t_resume
+        (if resumed_identical then "byte-identical" else "MISMATCH");
+      let oc = open_out "BENCH_pr7.json" in
+      let p fmt = Printf.fprintf oc fmt in
+      p "{\"tool\":\"bench\",\"section\":\"pr7\",\n";
+      p " \"model\":\"dynamic\",\"n\":1,\"tmin\":1,\"tmax\":40,\"states\":%d,\n"
+        states;
+      p
+        " \"seq_plain_wall_s\":%.4f,\"seq_budget_wall_s\":%.4f,\"seq_poll_overhead\":%.4f,\n"
+        t_plain t_budget seq_overhead;
+      p
+        " \"par4_plain_wall_s\":%.4f,\"par4_budget_wall_s\":%.4f,\"par4_poll_overhead\":%.4f,\n"
+        t_par_plain t_par_budget par_overhead;
+      p " \"degradation\":[";
+      List.iteri
+        (fun k (shots, rungs, count, complete, t) ->
+          if k > 0 then p ",";
+          p
+            "{\"memory_trips\":%d,\"rungs\":[%s],\"states\":%d,\"complete\":%b,\"wall_s\":%.4f}"
+            shots
+            (String.concat ","
+               (List.map (fun r -> Printf.sprintf "\"%s\"" r) rungs))
+            count complete t)
+        ladders;
+      p "],\n";
+      p
+        " \"checkpoint\":{\"at_states\":%d,\"bytes\":%d,\"save_wall_s\":%.4f,\"load_wall_s\":%.4f,\"resume_wall_s\":%.4f,\"resumed_byte_identical\":%b}}\n"
+        (Mc.Explore.cursor_states cur)
+        size t_save t_load t_resume resumed_identical;
+      close_out oc;
+      Format.printf "wrote BENCH_pr7.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel timings                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -654,6 +797,7 @@ let () =
   if has "--parallel-only" then parallel_report ()
   else if has "--por-only" then por_report ()
   else if has "--pr6-only" then pr6_report ()
+  else if has "--pr7-only" then pr7_report ()
   else begin
     if not bench_only then regenerate ();
     if not tables_only then begin

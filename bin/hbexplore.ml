@@ -86,8 +86,21 @@ let resolve_jobs jobs =
   else if jobs = 0 then Domain.recommended_domain_count ()
   else jobs
 
+let count_arg =
+  Arg.(
+    value & flag
+    & info [ "count" ]
+        ~doc:
+          "Count reachable states without retaining the graph (the \
+           high-volume mode; composes with compressed stores and the \
+           degradation ladder).")
+
+let json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit the deterministic JSON result.")
+
 let stats_cmd =
-  let run variant tmin tmax n fixed monitors jobs show_stats store levels =
+  let run variant tmin tmax n fixed monitors jobs show_stats store levels
+      count_only json bsecs bmb no_degrade ckpt ckpt_every resume_file =
     let jobs = resolve_jobs jobs in
     let params = H.Params.make ~n ~tmin ~tmax () in
     let model =
@@ -97,6 +110,26 @@ let stats_cmd =
     let sys = Ta.Semantics.system net in
     let max_states = 10_000_000 in
     let workstealing = if levels then Some false else None in
+    let count_mode =
+      count_only || match store with Mc.Store.Bitstate _ -> true | _ -> false
+    in
+    if levels && (bsecs <> None || bmb <> None || ckpt <> None
+                  || resume_file <> None) then
+      failwith
+        "budgets and checkpoints require the work-stealing engine (drop \
+         --levels)";
+    if count_mode && (ckpt <> None || resume_file <> None) then
+      failwith
+        "--checkpoint/--resume need the state graph (drop --count; bitstate \
+         stores keep no graph)";
+    (* the checkpoint kind guards resume identity: same tool, model,
+       parameters, bound and store family, or the resume is rejected *)
+    let kind =
+      Printf.sprintf
+        "hbexplore/stats/ta/%s/fixed=%b/monitors=%b/tmin=%d/tmax=%d/n=%d/max=%d/store=%s"
+        (H.Ta_models.variant_name variant)
+        fixed monitors tmin tmax n max_states (Mc.Store.mode_name store)
+    in
     let header ppf () =
       Format.fprintf ppf "%s%s %a%s"
         (H.Ta_models.variant_name variant)
@@ -104,52 +137,153 @@ let stats_cmd =
         H.Params.pp params
         (if monitors then " +monitors" else "")
     in
-    match store with
-    | Mc.Store.Bitstate _ ->
-        if levels then
-          failwith "bitstate requires the work-stealing engine (drop --levels)";
-        let (count, complete), stats =
-          Mc.Pexplore.count_stats ~max_states ~domains:jobs ~store sys
-        in
+    let json_result ~states ~transitions ~complete ~coverage ~exhausted
+        ~degraded =
+      Printf.printf
+        "{\"tool\":\"hbexplore\",\"cmd\":\"stats\",\"variant\":\"%s\",\"fixed\":%b,\"monitors\":%b,\"tmin\":%d,\"tmax\":%d,\"n\":%d,\"store\":\"%s\",\"states\":%d,%s\"complete\":%b,\"coverage\":%s,\"exhausted\":%s,\"degraded\":[%s]}\n"
+        (H.Ta_models.variant_name variant)
+        fixed monitors tmin tmax n (Mc.Store.mode_name store) states
+        (match transitions with
+        | Some t -> Printf.sprintf "\"transitions\":%d," t
+        | None -> "")
+        complete
+        (match coverage with
+        | Some c -> Cli_resilience.coverage_json c
+        | None -> "null")
+        (match exhausted with
+        | Some r -> Printf.sprintf "\"%s\"" (Mc.Budget.reason_name r)
+        | None -> "null")
+        (String.concat ","
+           (List.map (fun m -> "\"" ^ m ^ "\"") degraded))
+    in
+    if count_mode then begin
+      if levels then
+        failwith "bitstate requires the work-stealing engine (drop --levels)";
+      let budget = Cli_resilience.budget bsecs bmb in
+      let (count, complete), stats =
+        Mc.Pexplore.count_stats ~max_states ~domains:jobs ~store ~budget
+          ~degrade:(not no_degrade) sys
+      in
+      if json then
+        json_result ~states:count ~transitions:None ~complete
+          ~coverage:(Some stats.Mc.Pexplore.coverage)
+          ~exhausted:stats.Mc.Pexplore.exhausted
+          ~degraded:stats.Mc.Pexplore.degraded
+      else begin
         Format.printf
-          "%a: %d states visited (%s; bitstate keeps no graph, counts are \
+          "%a: %d states visited (%s; counts under a compressed store are \
            probabilistic lower bounds)@."
           header () count
-          (if complete then "complete" else "TRUNCATED");
+          (match stats.Mc.Pexplore.exhausted with
+          | Some r -> "EXHAUSTED: " ^ Mc.Budget.reason_name r
+          | None -> if complete then "complete" else "TRUNCATED");
+        (match stats.Mc.Pexplore.degraded with
+        | [] -> ()
+        | ms ->
+            Format.printf "store degraded in place: %s@."
+              (String.concat " -> " (Mc.Store.mode_name store :: ms)));
         Format.printf "coverage: %a@." Mc.Store.pp_coverage
           stats.Mc.Pexplore.coverage;
         if show_stats then Format.printf "%a@." Mc.Pexplore.pp_stats stats
-    | _ ->
-        let space, stats =
-          if
-            jobs <= 1 && (not show_stats) && store = Mc.Store.Exact
-            && workstealing = None
-          then (Mc.Explore.space ~max_states sys, None)
+      end;
+      if stats.Mc.Pexplore.exhausted <> None then
+        exit Cli_resilience.exit_exhausted
+    end
+    else begin
+      let sequential =
+        jobs <= 1 && (not show_stats) && store = Mc.Store.Exact
+        && workstealing = None
+      in
+      let result, stats =
+        if levels then
+          let space, stats =
+            Mc.Pexplore.space_stats ~max_states ~domains:jobs ~store
+              ?workstealing sys
+          in
+          (Mc.Explore.Done space, Some stats)
+        else if sequential then begin
+          let budget = Cli_resilience.budget bsecs bmb in
+          let resume = Cli_resilience.load_resume ~kind resume_file in
+          let checkpoint =
+            Option.map
+              (fun file ->
+                (ckpt_every, Cli_resilience.save_checkpoint ~kind file))
+              ckpt
+          in
+          (Mc.Explore.space_run ~max_states ~budget ?checkpoint ?resume sys,
+           None)
+        end
+        else begin
+          let budget = Cli_resilience.budget bsecs bmb in
+          let resume = Cli_resilience.load_resume ~kind resume_file in
+          let result, stats =
+            Mc.Pexplore.space_run ~max_states ~domains:jobs ~store ~budget
+              ~degrade:(not no_degrade) ?resume sys
+          in
+          (result, Some stats)
+        end
+      in
+      match result with
+      | Mc.Explore.Done space ->
+          if json then
+            json_result
+              ~states:(Lts.Graph.num_states space.Mc.Explore.lts)
+              ~transitions:
+                (Some (Lts.Graph.num_transitions space.Mc.Explore.lts))
+              ~complete:space.Mc.Explore.complete
+              ~coverage:(Option.map (fun s -> s.Mc.Pexplore.coverage) stats)
+              ~exhausted:None
+              ~degraded:
+                (match stats with
+                | Some s -> s.Mc.Pexplore.degraded
+                | None -> [])
+          else begin
+            Format.printf "%a: %a (%s)@." header ()
+              Lts.Graph.pp_stats space.Mc.Explore.lts
+              (if space.Mc.Explore.complete then "complete" else "TRUNCATED");
+            (match stats with
+            | Some s when store <> Mc.Store.Exact ->
+                Format.printf "coverage: %a@." Mc.Store.pp_coverage
+                  s.Mc.Pexplore.coverage
+            | _ -> ());
+            (match stats with
+            | Some s when show_stats ->
+                Format.printf "%a@." Mc.Pexplore.pp_stats s
+            | _ -> ())
+          end
+      | Mc.Explore.Suspended (reason, cursor) ->
+          Option.iter
+            (fun file -> Cli_resilience.save_checkpoint ~kind file cursor)
+            ckpt;
+          let states = Mc.Explore.cursor_states cursor in
+          let frontier = Mc.Explore.cursor_frontier cursor in
+          if json then
+            json_result ~states ~transitions:None ~complete:false
+              ~coverage:(Option.map (fun s -> s.Mc.Pexplore.coverage) stats)
+              ~exhausted:(Some reason)
+              ~degraded:
+                (match stats with
+                | Some s -> s.Mc.Pexplore.degraded
+                | None -> [])
           else
-            let space, stats =
-              Mc.Pexplore.space_stats ~max_states ~domains:jobs ~store
-                ?workstealing sys
-            in
-            (space, Some stats)
-        in
-        Format.printf "%a: %a (%s)@." header ()
-          Lts.Graph.pp_stats space.Mc.Explore.lts
-          (if space.Mc.Explore.complete then "complete" else "TRUNCATED");
-        (match stats with
-        | Some s when store <> Mc.Store.Exact ->
-            Format.printf "coverage: %a@." Mc.Store.pp_coverage
-              s.Mc.Pexplore.coverage
-        | _ -> ());
-        (match stats with
-        | Some s when show_stats -> Format.printf "%a@." Mc.Pexplore.pp_stats s
-        | _ -> ())
+            Format.printf
+              "%a: EXHAUSTED (%a) — %d states interned, %d frontier states \
+               unexpanded%s@."
+              header () Mc.Budget.pp_reason reason states frontier
+              (if ckpt <> None then "; checkpoint written" else "");
+          exit Cli_resilience.exit_exhausted
+    end
   in
   Cmd.v
-    (Cmd.info "stats" ~doc:"Reachable state space of a timed-automata model.")
+    (Cmd.info "stats" ~exits:Cli_resilience.exits
+       ~doc:"Reachable state space of a timed-automata model.")
     Term.(
       const run $ variant_arg $ tmin_arg $ tmax_arg $ n_arg $ fixed_arg
       $ monitors_arg $ jobs_arg $ exploration_stats_arg $ store_arg
-      $ levels_arg)
+      $ levels_arg $ count_arg $ json_arg $ Cli_resilience.budget_secs_arg
+      $ Cli_resilience.budget_mb_arg $ Cli_resilience.no_degrade_arg
+      $ Cli_resilience.checkpoint_arg $ Cli_resilience.checkpoint_every_arg
+      $ Cli_resilience.resume_arg)
 
 let pa_stats_cmd =
   let reduce_arg =
@@ -249,28 +383,50 @@ let export_cmd =
       $ fixed_arg)
 
 let deadlocks_cmd =
-  let run variant tmin tmax n fixed jobs store levels =
+  let run variant tmin tmax n fixed jobs store levels bsecs bmb no_degrade =
     let jobs = resolve_jobs jobs in
     let workstealing = if levels then Some false else None in
+    if levels && (bsecs <> None || bmb <> None) then
+      failwith
+        "budgets require the work-stealing engine (drop --levels)";
+    let budget = Cli_resilience.budget ~signals:(not levels) bsecs bmb in
     let params = H.Params.make ~n ~tmin ~tmax () in
-    let free =
-      H.Verify.deadlock_free ~fixed ~domains:jobs ~store ?workstealing variant
-        params
+    let verdict =
+      H.Verify.deadlocks ~fixed ~domains:jobs ~store ?workstealing ~budget
+        ~degrade:(not no_degrade) variant params
     in
-    Format.printf "%s %a: %s%s@."
-      (H.Ta_models.variant_name variant)
-      H.Params.pp params
-      (if free then "deadlock-free" else "HAS DEADLOCKS")
-      (if free && store <> Mc.Store.Exact then
-         " (probabilistic: compressed store may omit states)"
-       else "");
-    if not free then exit 1
+    let line s =
+      Format.printf "%s %a: %s@."
+        (H.Ta_models.variant_name variant)
+        H.Params.pp params s
+    in
+    match verdict with
+    | Mc.Safety.Holds ->
+        line
+          ("deadlock-free"
+          ^
+          if store <> Mc.Store.Exact then
+            " (probabilistic: compressed store may omit states)"
+          else "")
+    | Mc.Safety.Violated _ ->
+        line "HAS DEADLOCKS";
+        exit Cli_resilience.exit_violation
+    | Mc.Safety.Unknown n ->
+        line (Printf.sprintf "UNKNOWN (state bound hit at %d)" n);
+        exit Cli_resilience.exit_unknown
+    | Mc.Safety.Exhausted e ->
+        line
+          (Format.asprintf "EXHAUSTED (%a) — no deadlock found so far"
+             Mc.Explore.pp_exhaustion e);
+        exit Cli_resilience.exit_exhausted
   in
   Cmd.v
-    (Cmd.info "deadlocks" ~doc:"Check a model for deadlocked configurations.")
+    (Cmd.info "deadlocks" ~exits:Cli_resilience.exits
+       ~doc:"Check a model for deadlocked configurations.")
     Term.(
       const run $ variant_arg $ tmin_arg $ tmax_arg $ n_arg $ fixed_arg
-      $ jobs_arg $ store_arg $ levels_arg)
+      $ jobs_arg $ store_arg $ levels_arg $ Cli_resilience.budget_secs_arg
+      $ Cli_resilience.budget_mb_arg $ Cli_resilience.no_degrade_arg)
 
 let () =
   let info =

@@ -45,22 +45,29 @@ let kind_arg =
     & info [ "kind" ] ~docv:"KIND" ~doc:"Coordinator discipline.")
 
 let campaign_cmd =
-  let run fixed seed n duration_factor no_shrink json =
+  let run fixed seed n duration_factor no_shrink json bsecs bmb =
+    (* the budget doubles as the SIGINT token: an interrupted campaign
+       reports the completed prefix (JSON or text) instead of dying *)
+    let budget = Cli_resilience.budget bsecs bmb in
     let c =
       H.Campaign.run ~fixed ~seed ~n ~duration_factor
-        ~shrink_failures:(not no_shrink) ()
+        ~shrink_failures:(not no_shrink) ~budget ()
     in
     if json then print_string (H.Campaign.to_json c)
-    else Format.printf "%a" H.Campaign.pp c
+    else Format.printf "%a" H.Campaign.pp c;
+    if c.H.Campaign.interrupted <> None then
+      exit Cli_resilience.exit_exhausted;
+    if H.Campaign.violations c <> [] then exit Cli_resilience.exit_violation
   in
   Cmd.v
-    (Cmd.info "campaign"
+    (Cmd.info "campaign" ~exits:Cli_resilience.exits
        ~doc:
          "Sweep the default fault scenarios over all disciplines and table \
           parameter points.")
     Term.(
       const run $ fixed_arg $ seed_arg $ n_arg $ duration_arg $ no_shrink_arg
-      $ json_arg)
+      $ json_arg $ Cli_resilience.budget_secs_arg
+      $ Cli_resilience.budget_mb_arg)
 
 let show_cmd =
   let tmin_arg =

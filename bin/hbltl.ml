@@ -170,7 +170,10 @@ let verdict_json ~model ~variant ~params ~fixed ~reduce ~engine ~req ~formula
   | Ltl.Check.Refuted l ->
       bprintf buf "\"verdict\":\"refuted\",\"lasso\":{\"prefix\":%s,\"cycle\":%s}}"
         (json_steps to_string l.Ltl.Check.prefix)
-        (json_steps to_string l.Ltl.Check.cycle));
+        (json_steps to_string l.Ltl.Check.cycle)
+  | Ltl.Check.Exhausted e ->
+      bprintf buf "\"verdict\":\"exhausted\",\"exhaustion\":%s}"
+        (Cli_resilience.exhaustion_json e));
   Buffer.contents buf
 
 let fairness_names fs =
@@ -185,16 +188,60 @@ let run_check ?domains variant params fixed engine req =
     Format.asprintf "%a" Ltl.Formula.pp
       (H.Requirements.live_formula variant params req) )
 
+(* Exit code for a concluded verdict; [exit 0] is implicit. *)
+let verdict_exit = function
+  | Ltl.Check.Holds -> ()
+  | Ltl.Check.Refuted _ -> exit Cli_resilience.exit_violation
+  | Ltl.Check.Unknown _ -> exit Cli_resilience.exit_unknown
+  | Ltl.Check.Exhausted _ -> exit Cli_resilience.exit_exhausted
+
+(* A suspended product build reported as an [Exhausted] verdict: the
+   checkpoint (when requested) carries the cursor, the report carries
+   the partial state count. *)
+let exhaustion_of_cursor reason cursor =
+  let n = Mc.Explore.cursor_states cursor in
+  {
+    Mc.Explore.reason;
+    states_so_far = n;
+    coverage = Mc.Store.coverage_of ~mode:Mc.Store.exact ~stored:n;
+  }
+
 (* The process-algebra path (--pa): same requirements, read as LTL over
    the PA action names, with the ample-set reduction available because
    those formulas are stutter-invariant. *)
-let run_pa_check ?domains variant params reduce engine json req =
+let run_pa_check ?domains ?budget ?ckpt_file ~ckpt_every ~resume_file variant
+    params reduce engine json req =
   let pv =
     match H.Pa_models.of_ta variant with
     | Some pv -> pv
     | None -> assert false (* of_ta is total *)
   in
-  let verdict = H.Pa_verify.check_live ~engine ~reduce ?domains pv params req in
+  let kind =
+    Printf.sprintf
+      "hbltl/check/pa/%s/reduce=%b/req=%s/tmin=%d/tmax=%d/n=%d/engine=scc"
+      (H.Pa_models.variant_name pv)
+      reduce (H.Requirements.name req) params.H.Params.tmin
+      params.H.Params.tmax params.H.Params.n
+  in
+  let resume = Cli_resilience.load_resume ~kind resume_file in
+  let checkpoint =
+    Option.map
+      (fun file -> (ckpt_every, Cli_resilience.save_checkpoint ~kind file))
+      ckpt_file
+  in
+  let result =
+    H.Pa_verify.check_live_run ~engine ~reduce ?domains ?budget ?checkpoint
+      ?resume pv params req
+  in
+  let verdict, suspended =
+    match result with
+    | Ltl.Check.Concluded v -> (v, false)
+    | Ltl.Check.Suspended (reason, cursor) ->
+        Option.iter
+          (fun file -> Cli_resilience.save_checkpoint ~kind file cursor)
+          ckpt_file;
+        (Ltl.Check.Exhausted (exhaustion_of_cursor reason cursor), true)
+  in
   let formula =
     Format.asprintf "%a" Ltl.Formula.pp
       (H.Requirements.live_formula_pa pv params req)
@@ -204,7 +251,10 @@ let run_pa_check ?domains variant params reduce engine json req =
       (verdict_json ~model:"pa" ~variant ~params ~fixed:false ~reduce ~engine
          ~req ~formula
          ~fairness_names:(fairness_names H.Requirements.live_fairness_pa)
-         ~stats:(pa_stats_json ~reduce pv params)
+         ~stats:
+           (match verdict with
+           | Ltl.Check.Exhausted _ -> "null"
+           | _ -> pa_stats_json ~reduce pv params)
          ~to_string:pa_step_string verdict)
   else begin
     Format.printf "PA %s %a %s-live (%s engine%s)@."
@@ -218,6 +268,11 @@ let run_pa_check ?domains variant params reduce engine json req =
     | Ltl.Check.Holds -> Format.printf "verdict:  HOLDS@."
     | Ltl.Check.Unknown st ->
         Format.printf "verdict:  UNKNOWN (state bound hit at %d)@." st
+    | Ltl.Check.Exhausted e ->
+        Format.printf "verdict:  EXHAUSTED (%a)%s@." Mc.Explore.pp_exhaustion
+          e
+          (if suspended && ckpt_file <> None then "; checkpoint written"
+           else "")
     | Ltl.Check.Refuted lasso ->
         Format.printf "verdict:  REFUTED@.@.";
         List.iter
@@ -231,7 +286,8 @@ let run_pa_check ?domains variant params reduce engine json req =
   verdict
 
 let check_cmd =
-  let run variant tmin tmax n fixed pa reduce engine json msc jobs req =
+  let run variant tmin tmax n fixed pa reduce engine json msc jobs bsecs bmb
+      ckpt_file ckpt_every resume_file req =
     let domains =
       if jobs < 0 then failwith "--jobs must be >= 0"
       else if jobs = 0 then Domain.recommended_domain_count ()
@@ -250,60 +306,100 @@ let check_cmd =
          the process-algebra models)@.";
       exit 2
     end;
-    if pa then begin
-      match run_pa_check ~domains variant params reduce engine json req with
-      | Ltl.Check.Holds -> ()
-      | Ltl.Check.Refuted _ -> exit 1
-      | Ltl.Check.Unknown _ -> exit 2
-    end
-    else
-    let verdict, formula = run_check ~domains variant params fixed engine req in
-    if json then
-      print_endline
-        (verdict_json ~model:"ta" ~variant ~params ~fixed ~reduce:false
-           ~engine ~req ~formula
-           ~fairness_names:(fairness_names H.Requirements.live_fairness)
-           ~stats:(ta_stats_json ~fixed variant params)
-           ~to_string:step_string verdict)
-    else begin
-      Format.printf "%s%s %a %s-live (%s engine)@."
-        (H.Ta_models.variant_name variant)
-        (if fixed then " [fixed]" else "")
-        H.Params.pp params (H.Requirements.name req)
-        (match engine with Ltl.Check.Ndfs -> "ndfs" | Ltl.Check.Scc -> "scc");
-      Format.printf "property: %s@." (H.Requirements.live_description req);
-      Format.printf "formula:  %s@." formula;
-      match verdict with
-      | Ltl.Check.Holds -> Format.printf "verdict:  HOLDS@."
-      | Ltl.Check.Unknown st ->
-          Format.printf "verdict:  UNKNOWN (state bound hit at %d)@." st
-      | Ltl.Check.Refuted lasso ->
-          Format.printf "verdict:  REFUTED@.@.";
-          if msc then
-            print_string
-              (H.Msc.render_lasso ~n
-                 ~header:
-                   (Printf.sprintf "%s-live refutation — %s%s"
-                      (H.Requirements.name req)
-                      (H.Ta_models.variant_name variant)
-                      (if fixed then " [fixed]" else ""))
-                 lasso)
-          else begin
-            List.iter
-              (fun e ->
-                Format.printf "  t=%-4d %s@." e.H.Scenarios.time
-                  e.H.Scenarios.action)
-              (H.Scenarios.timeline (Ltl.Check.strip lasso.Ltl.Check.prefix));
-            Format.printf "  -- cycle repeats forever --@.";
-            List.iter
-              (fun s -> Format.printf "  %s@." (step_string s))
-              lasso.Ltl.Check.cycle
-          end
+    if (ckpt_file <> None || resume_file <> None) && engine <> Ltl.Check.Scc
+    then begin
+      Format.eprintf
+        "hbltl: --checkpoint/--resume require the scc engine (the nested \
+         DFS search state is not checkpointable); add --engine scc@.";
+      exit 2
     end;
-    match verdict with
-    | Ltl.Check.Holds -> ()
-    | Ltl.Check.Refuted _ -> exit 1
-    | Ltl.Check.Unknown _ -> exit 2
+    let budget = Cli_resilience.budget bsecs bmb in
+    if pa then
+      verdict_exit
+        (run_pa_check ~domains ~budget ?ckpt_file ~ckpt_every ~resume_file
+           variant params reduce engine json req)
+    else begin
+      let kind =
+        Printf.sprintf
+          "hbltl/check/ta/%s/fixed=%b/req=%s/tmin=%d/tmax=%d/n=%d/engine=scc"
+          (H.Ta_models.variant_name variant)
+          fixed (H.Requirements.name req) tmin tmax n
+      in
+      let resume = Cli_resilience.load_resume ~kind resume_file in
+      let checkpoint =
+        Option.map
+          (fun file -> (ckpt_every, Cli_resilience.save_checkpoint ~kind file))
+          ckpt_file
+      in
+      let result =
+        H.Verify.check_live_run ~fixed ~engine ~domains ~budget ?checkpoint
+          ?resume variant params req
+      in
+      let verdict, suspended =
+        match result with
+        | Ltl.Check.Concluded v -> (v, false)
+        | Ltl.Check.Suspended (reason, cursor) ->
+            Option.iter
+              (fun file -> Cli_resilience.save_checkpoint ~kind file cursor)
+              ckpt_file;
+            (Ltl.Check.Exhausted (exhaustion_of_cursor reason cursor), true)
+      in
+      let formula =
+        Format.asprintf "%a" Ltl.Formula.pp
+          (H.Requirements.live_formula variant params req)
+      in
+      if json then
+        print_endline
+          (verdict_json ~model:"ta" ~variant ~params ~fixed ~reduce:false
+             ~engine ~req ~formula
+             ~fairness_names:(fairness_names H.Requirements.live_fairness)
+             ~stats:
+               (match verdict with
+               | Ltl.Check.Exhausted _ -> "null"
+               | _ -> ta_stats_json ~fixed variant params)
+             ~to_string:step_string verdict)
+      else begin
+        Format.printf "%s%s %a %s-live (%s engine)@."
+          (H.Ta_models.variant_name variant)
+          (if fixed then " [fixed]" else "")
+          H.Params.pp params (H.Requirements.name req)
+          (match engine with Ltl.Check.Ndfs -> "ndfs" | Ltl.Check.Scc -> "scc");
+        Format.printf "property: %s@." (H.Requirements.live_description req);
+        Format.printf "formula:  %s@." formula;
+        match verdict with
+        | Ltl.Check.Holds -> Format.printf "verdict:  HOLDS@."
+        | Ltl.Check.Unknown st ->
+            Format.printf "verdict:  UNKNOWN (state bound hit at %d)@." st
+        | Ltl.Check.Exhausted e ->
+            Format.printf "verdict:  EXHAUSTED (%a)%s@."
+              Mc.Explore.pp_exhaustion e
+              (if suspended && ckpt_file <> None then "; checkpoint written"
+               else "")
+        | Ltl.Check.Refuted lasso ->
+            Format.printf "verdict:  REFUTED@.@.";
+            if msc then
+              print_string
+                (H.Msc.render_lasso ~n
+                   ~header:
+                     (Printf.sprintf "%s-live refutation — %s%s"
+                        (H.Requirements.name req)
+                        (H.Ta_models.variant_name variant)
+                        (if fixed then " [fixed]" else ""))
+                   lasso)
+            else begin
+              List.iter
+                (fun e ->
+                  Format.printf "  t=%-4d %s@." e.H.Scenarios.time
+                    e.H.Scenarios.action)
+                (H.Scenarios.timeline (Ltl.Check.strip lasso.Ltl.Check.prefix));
+              Format.printf "  -- cycle repeats forever --@.";
+              List.iter
+                (fun s -> Format.printf "  %s@." (step_string s))
+                lasso.Ltl.Check.cycle
+            end
+      end;
+      verdict_exit verdict
+    end
   in
   let json_arg =
     Arg.(
@@ -342,12 +438,14 @@ let check_cmd =
              the parallel-safe cycle proviso.")
   in
   Cmd.v
-    (Cmd.info "check"
+    (Cmd.info "check" ~exits:Cli_resilience.exits
        ~doc:"Check the liveness formulation of one requirement.")
     Term.(
       const run $ variant_arg $ tmin_arg $ tmax_arg $ n_arg $ fixed_arg
       $ pa_arg $ reduce_arg $ engine_arg $ json_arg $ msc_arg $ jobs_arg
-      $ req_arg)
+      $ Cli_resilience.budget_secs_arg $ Cli_resilience.budget_mb_arg
+      $ Cli_resilience.checkpoint_arg $ Cli_resilience.checkpoint_every_arg
+      $ Cli_resilience.resume_arg $ req_arg)
 
 (* ------------------------------------------------------------------ *)
 (* table                                                               *)
@@ -376,7 +474,7 @@ let table_cmd =
               match H.Verify.check_live ~fixed ~engine variant params req with
               | Ltl.Check.Holds -> "T"
               | Ltl.Check.Refuted _ -> "F"
-              | Ltl.Check.Unknown _ -> "?"
+              | Ltl.Check.Unknown _ | Ltl.Check.Exhausted _ -> "?"
             in
             Format.printf "  %-19s %-18s %3s %3s %3s@."
               (H.Ta_models.variant_name variant

@@ -97,23 +97,37 @@ let table_fixed_cmd =
     Term.(const run $ const ())
 
 let check_cmd =
-  let run variant tmin tmax n fixed req =
+  let run variant tmin tmax n fixed bsecs bmb no_degrade req =
     let params = H.Params.make ~n ~tmin ~tmax () in
-    let outcome = H.Verify.check ~fixed variant params req in
-    Format.printf "%s%s %a %s: %s@."
-      (H.Ta_models.variant_name variant)
-      (if fixed then " [fixed]" else "")
-      H.Params.pp params (H.Requirements.name req)
-      (if outcome.H.Verify.holds then "HOLDS" else "VIOLATED");
-    Option.iter
-      (fun trace ->
-        Format.printf "counterexample:@.";
-        List.iter
-          (fun e ->
-            Format.printf "  t=%-4d %s@." e.H.Scenarios.time e.H.Scenarios.action)
-          (H.Scenarios.timeline trace))
-      outcome.H.Verify.counterexample;
-    if not outcome.H.Verify.holds then exit 1
+    let budget = Cli_resilience.budget bsecs bmb in
+    let outcome =
+      H.Verify.check ~fixed ~budget ~degrade:(not no_degrade) variant params
+        req
+    in
+    let name ppf () =
+      Format.fprintf ppf "%s%s %a %s"
+        (H.Ta_models.variant_name variant)
+        (if fixed then " [fixed]" else "")
+        H.Params.pp params (H.Requirements.name req)
+    in
+    match outcome.H.Verify.exhausted with
+    | Some e ->
+        Format.printf "%a: EXHAUSTED (%a) — no violation found so far@." name
+          () Mc.Explore.pp_exhaustion e;
+        exit Cli_resilience.exit_exhausted
+    | None ->
+        Format.printf "%a: %s@." name ()
+          (if outcome.H.Verify.holds then "HOLDS" else "VIOLATED");
+        Option.iter
+          (fun trace ->
+            Format.printf "counterexample:@.";
+            List.iter
+              (fun e ->
+                Format.printf "  t=%-4d %s@." e.H.Scenarios.time
+                  e.H.Scenarios.action)
+              (H.Scenarios.timeline trace))
+          outcome.H.Verify.counterexample;
+        if not outcome.H.Verify.holds then exit Cli_resilience.exit_violation
   in
   let req_arg =
     Arg.(
@@ -122,10 +136,12 @@ let check_cmd =
       & info [] ~docv:"REQ" ~doc:"Requirement: R1, R2 or R3.")
   in
   Cmd.v
-    (Cmd.info "check" ~doc:"Model-check one requirement on one variant.")
+    (Cmd.info "check" ~exits:Cli_resilience.exits
+       ~doc:"Model-check one requirement on one variant.")
     Term.(
       const run $ variant_arg $ tmin_arg $ tmax_arg $ n_arg $ fixed_arg
-      $ req_arg)
+      $ Cli_resilience.budget_secs_arg $ Cli_resilience.budget_mb_arg
+      $ Cli_resilience.no_degrade_arg $ req_arg)
 
 let cex_cmd =
   let scenarios =
@@ -284,25 +300,59 @@ let resolve_jobs jobs =
   else jobs
 
 let pa_check_cmd =
-  let run variant tmin tmax n reduce json jobs req =
+  let run variant tmin tmax n reduce json jobs bsecs bmb no_degrade req =
     let domains = resolve_jobs jobs in
     let params = H.Params.make ~n ~tmin ~tmax () in
-    let holds = H.Pa_verify.check ~reduce ~domains variant params req in
-    if json then
+    let budget = Cli_resilience.budget bsecs bmb in
+    let verdict =
+      H.Pa_verify.check_verdict ~reduce ~domains ~budget
+        ~degrade:(not no_degrade) variant params req
+    in
+    let print_json verdict_field stats =
       Printf.printf
-        "{\"tool\":\"hbverify\",\"model\":\"pa\",\"variant\":\"%s\",\"tmin\":%d,\"tmax\":%d,\"n\":%d,\"requirement\":\"%s\",\"reduce\":%b,\"verdict\":\"%s\",\"stats\":%s}\n"
+        "{\"tool\":\"hbverify\",\"model\":\"pa\",\"variant\":\"%s\",\"tmin\":%d,\"tmax\":%d,\"n\":%d,\"requirement\":\"%s\",\"reduce\":%b,%s,\"stats\":%s}\n"
         (H.Pa_models.variant_name variant)
         params.H.Params.tmin params.H.Params.tmax params.H.Params.n
-        (H.Requirements.name req) reduce
-        (if holds then "holds" else "violated")
-        (stats_json ~reduce variant params)
-    else
+        (H.Requirements.name req) reduce verdict_field stats
+    in
+    let print_text status =
       Format.printf "PA %s %a %s%s: %s@."
         (H.Pa_models.variant_name variant)
         H.Params.pp params (H.Requirements.name req)
         (if reduce then " [reduced]" else "")
-        (if holds then "HOLDS" else "VIOLATED");
-    if not holds then exit 1
+        status
+    in
+    match verdict with
+    | Mc.Safety.Holds ->
+        if json then
+          print_json "\"verdict\":\"holds\"" (stats_json ~reduce variant params)
+        else print_text "HOLDS"
+    | Mc.Safety.Violated _ ->
+        if json then
+          print_json "\"verdict\":\"violated\""
+            (stats_json ~reduce variant params)
+        else print_text "VIOLATED";
+        exit Cli_resilience.exit_violation
+    | Mc.Safety.Unknown st ->
+        (* no re-exploration for the stats object: it would hit the same
+           bound again *)
+        if json then
+          print_json
+            (Printf.sprintf "\"verdict\":\"unknown\",\"states\":%d" st)
+            "null"
+        else print_text (Printf.sprintf "UNKNOWN (state bound hit at %d)" st);
+        exit Cli_resilience.exit_unknown
+    | Mc.Safety.Exhausted e ->
+        if json then
+          print_json
+            (Printf.sprintf "\"verdict\":\"exhausted\",\"exhaustion\":%s"
+               (Cli_resilience.exhaustion_json e))
+            "null"
+        else
+          print_text
+            (Format.asprintf "EXHAUSTED (%a) — no violation found so far"
+               Mc.Explore.pp_exhaustion e);
+        exit Cli_resilience.exit_exhausted
   in
   let req_arg =
     Arg.(
@@ -311,12 +361,14 @@ let pa_check_cmd =
       & info [] ~docv:"REQ" ~doc:"Requirement: R1, R2 or R3.")
   in
   Cmd.v
-    (Cmd.info "pa-check"
+    (Cmd.info "pa-check" ~exits:Cli_resilience.exits
        ~doc:"Model-check one requirement on a process-algebra model, \
              optionally with ample-set partial-order reduction.")
     Term.(
       const run $ pa_variant_arg $ tmin_arg $ tmax_arg $ n_arg $ reduce_arg
-      $ json_arg $ jobs_arg $ req_arg)
+      $ json_arg $ jobs_arg $ Cli_resilience.budget_secs_arg
+      $ Cli_resilience.budget_mb_arg $ Cli_resilience.no_degrade_arg
+      $ req_arg)
 
 (* The soundness gate for `make por`: on every shipped variant, the
    reduced and full explorations must give the same verdict for every

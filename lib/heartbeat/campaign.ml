@@ -25,7 +25,12 @@ type outcome = {
   inactivations : int;
 }
 
-type t = { fixed : bool; seed : int64; outcomes : outcome list }
+type t = {
+  fixed : bool;
+  seed : int64;
+  outcomes : outcome list;
+  interrupted : Mc.Budget.reason option;
+}
 
 (* The paper's claimed detection bound for p[0] (Section 5's R1 reading):
    2*tmax after the last heartbeat.  The unfixed protocols are monitored
@@ -177,9 +182,16 @@ let default_kinds = [ Runtime.Halving; Runtime.Two_phase; Runtime.Fixed_rate 2 ]
 
 let run ?(kinds = default_kinds) ?(datasets = Params.table_datasets) ?(n = 1)
     ?(fixed = false) ?(seed = 7L) ?(duration_factor = 10.0)
-    ?(shrink_failures = true) () =
+    ?(shrink_failures = true) ?budget () =
   let master = Sim.Rng.create seed in
   let outcomes = ref [] in
+  (* Budget polled between points only: a point is the unit of work, so
+     an interrupted campaign is a clean prefix of the full sweep (the
+     sub-seeds are still drawn in sweep order, keeping the points that
+     did run identical to the uninterrupted campaign's). *)
+  let stopped () =
+    match budget with None -> false | Some b -> Mc.Budget.check b <> None
+  in
   List.iter
     (fun (tmin, tmax) ->
       let params = Params.make ~n ~tmin ~tmax () in
@@ -202,6 +214,8 @@ let run ?(kinds = default_kinds) ?(datasets = Params.table_datasets) ?(n = 1)
                   duration = duration_factor *. float_of_int tmax;
                 }
               in
+              if stopped () then ()
+              else
               let verdict, result = run_point pt in
               let shrunk =
                 match verdict with
@@ -224,7 +238,8 @@ let run ?(kinds = default_kinds) ?(datasets = Params.table_datasets) ?(n = 1)
             (default_scenarios params))
         kinds)
     datasets;
-  { fixed; seed; outcomes = List.rev !outcomes }
+  let interrupted = Option.bind budget Mc.Budget.tripped in
+  { fixed; seed; outcomes = List.rev !outcomes; interrupted }
 
 let violations t =
   List.filter
@@ -286,9 +301,12 @@ let to_json t =
   let b = Buffer.create 4096 in
   Buffer.add_string b
     (Printf.sprintf
-       "{\"campaign\":{\"fixed\":%b,\"seed\":\"%Ld\",\"points\":%d,\"violations\":%d},\"outcomes\":[\n"
+       "{\"campaign\":{\"fixed\":%b,\"seed\":\"%Ld\",\"points\":%d,\"violations\":%d,\"interrupted\":%s},\"outcomes\":[\n"
        t.fixed t.seed (List.length t.outcomes)
-       (List.length (violations t)));
+       (List.length (violations t))
+       (match t.interrupted with
+       | None -> "null"
+       | Some r -> Printf.sprintf "\"%s\"" (Mc.Budget.reason_name r)));
   List.iteri
     (fun i o ->
       if i > 0 then Buffer.add_string b ",\n";
@@ -320,4 +338,9 @@ let pp ppf t =
     (List.length t.outcomes) (List.length bad)
     (if t.fixed then "fixed 6.2" else "unfixed")
     t.seed;
+  Option.iter
+    (fun r ->
+      Format.fprintf ppf "  INTERRUPTED (%a): partial sweep@." Mc.Budget.pp_reason
+        r)
+    t.interrupted;
   List.iter (fun o -> Format.fprintf ppf "  %a@." pp_outcome o) t.outcomes

@@ -39,7 +39,14 @@ type outcome = {
   inactivations : int;
 }
 
-type t = { fixed : bool; seed : int64; outcomes : outcome list }
+type t = {
+  fixed : bool;
+  seed : int64;
+  outcomes : outcome list;
+  interrupted : Mc.Budget.reason option;
+      (** set when a [budget] stopped the sweep early; [outcomes] is
+          then a prefix of the full campaign in sweep order *)
+}
 
 val claimed_r1_bound : Params.t -> float
 (** The paper's claimed detection bound, [2 * tmax]. *)
@@ -74,13 +81,17 @@ val run :
   ?seed:int64 ->
   ?duration_factor:float ->
   ?shrink_failures:bool ->
+  ?budget:Mc.Budget.t ->
   unit ->
   t
 (** Sweep [datasets × kinds × default_scenarios].  Each point gets an
     independent sub-seed drawn from [seed] (default 7) in sweep order and
     runs for [duration_factor * tmax] (default 10).  Deterministic:
     equal arguments give equal outcomes, including the shrunk
-    schedules. *)
+    schedules.  [budget] is polled between points (a point is the unit
+    of work): a trip or a signal stops the sweep after the current
+    point, recording the reason in {!t.interrupted} — the completed
+    prefix is identical to the uninterrupted campaign's. *)
 
 val violations : t -> outcome list
 

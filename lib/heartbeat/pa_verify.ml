@@ -99,8 +99,8 @@ let expected_of spec =
   | Lint.Interval.Finite n -> Some n
   | Lint.Interval.Unbounded -> None
 
-let check ?(max_states = default_max) ?(domains = 1) ?(reduce = false) ?store
-    ?workstealing variant params req =
+let check_verdict ?(max_states = default_max) ?(domains = 1) ?(reduce = false)
+    ?store ?workstealing ?budget ?degrade variant params req =
   let spec = Pa_models.build variant params in
   let sys = Proc.Semantics.system spec in
   let expected_states = expected_of spec in
@@ -109,23 +109,41 @@ let check ?(max_states = default_max) ?(domains = 1) ?(reduce = false) ?store
      is told not to force the sequential engine *)
   let par = domains > 1 in
   let analysis = if reduce then Some (Por.analyze spec) else None in
-  List.for_all
-    (fun (monitor, alphabet) ->
-      let reduction =
-        Option.map (fun a -> Por.reduced_system ~alphabet ~par a) analysis
-      in
-      match
-        Mc.Safety.check_monitor ~max_states ?expected_states ~domains
-          ?reduction ~parallel_reduction:par ?store ?workstealing sys monitor
-      with
-      | Mc.Safety.Holds -> true
-      | Mc.Safety.Violated _ -> false
-      | Mc.Safety.Unknown n ->
-          Format.kasprintf failwith
-            "Pa_verify.check: state bound %d exceeded (%s, %s)" n
-            (Pa_models.variant_name variant)
-            (Requirements.name req))
-    (monitors variant params req)
+  (* first non-Holds verdict wins; all monitors must hold for Holds *)
+  let rec go = function
+    | [] -> Mc.Safety.Holds
+    | (monitor, alphabet) :: rest -> (
+        let reduction =
+          Option.map (fun a -> Por.reduced_system ~alphabet ~par a) analysis
+        in
+        match
+          Mc.Safety.check_monitor ~max_states ?expected_states ~domains
+            ?reduction ~parallel_reduction:par ?store ?workstealing ?budget
+            ?degrade sys monitor
+        with
+        | Mc.Safety.Holds -> go rest
+        | v -> v)
+  in
+  go (monitors variant params req)
+
+let check ?max_states ?domains ?reduce ?store ?workstealing variant params req
+    =
+  match
+    check_verdict ?max_states ?domains ?reduce ?store ?workstealing variant
+      params req
+  with
+  | Mc.Safety.Holds -> true
+  | Mc.Safety.Violated _ -> false
+  | Mc.Safety.Unknown n ->
+      Format.kasprintf failwith
+        "Pa_verify.check: state bound %d exceeded (%s, %s)" n
+        (Pa_models.variant_name variant)
+        (Requirements.name req)
+  | Mc.Safety.Exhausted e ->
+      Format.kasprintf failwith "Pa_verify.check: %a (%s, %s)"
+        Mc.Explore.pp_exhaustion e
+        (Pa_models.variant_name variant)
+        (Requirements.name req)
 
 let state_count ?(max_states = default_max) ?(domains = 1) ?(reduce = false)
     ?store ?workstealing variant params =
@@ -165,7 +183,8 @@ let explore ?(max_states = default_max) ?(reduce = false) variant params =
   }
 
 let check_live ?(engine = Ltl.Check.Ndfs) ?(max_states = default_max)
-    ?(reduce = false) ?(domains = 1) ?store ?workstealing variant params req =
+    ?(reduce = false) ?(domains = 1) ?store ?workstealing ?budget variant
+    params req =
   let spec = Pa_models.build variant params in
   let sys = Proc.Semantics.system spec in
   let reduction =
@@ -175,5 +194,21 @@ let check_live ?(engine = Ltl.Check.Ndfs) ?(max_states = default_max)
     else None
   in
   Ltl.Check.check ~engine ~fairness:Requirements.live_fairness_pa ?reduction
-    ~max_states ~domains ?store ?workstealing sys
+    ~max_states ~domains ?store ?workstealing ?budget sys
+    (Requirements.live_formula_pa variant params req)
+
+let check_live_run ?(engine = Ltl.Check.Ndfs) ?(max_states = default_max)
+    ?(reduce = false) ?(domains = 1) ?store ?workstealing ?budget ?checkpoint
+    ?resume variant params req =
+  let spec = Pa_models.build variant params in
+  let sys = Proc.Semantics.system spec in
+  let reduction =
+    if reduce then
+      let a = Por.analyze spec in
+      Some (fun ~alphabet -> Por.reduction ~par:(domains > 1) a ~alphabet)
+    else None
+  in
+  Ltl.Check.check_run ~engine ~fairness:Requirements.live_fairness_pa
+    ?reduction ~max_states ~domains ?store ?workstealing ?budget ?checkpoint
+    ?resume sys
     (Requirements.live_formula_pa variant params req)

@@ -11,6 +11,25 @@
     verdicts of {!Verify} on common data sets (the paper's claim that
     "both model checkers produced similar results"). *)
 
+val check_verdict :
+  ?max_states:int ->
+  ?domains:int ->
+  ?reduce:bool ->
+  ?store:Mc.Store.mode ->
+  ?workstealing:bool ->
+  ?budget:Mc.Budget.t ->
+  ?degrade:bool ->
+  Pa_models.variant ->
+  Params.t ->
+  Requirements.requirement ->
+  Proc.Semantics.label Mc.Safety.verdict
+(** Like {!check} but as a full {!Mc.Safety.verdict}: the first
+    non-[Holds] verdict among the requirement's monitors is returned
+    (monitors are checked in participant order).  A [budget] trip
+    surfaces as [Exhausted] instead of raising; [degrade] (default
+    [true]) lets memory trips walk the store down the compression
+    ladder in place (see {!Mc.Safety.check_monitor}). *)
+
 val check :
   ?max_states:int ->
   ?domains:int ->
@@ -67,6 +86,7 @@ val check_live :
   ?domains:int ->
   ?store:Mc.Store.mode ->
   ?workstealing:bool ->
+  ?budget:Mc.Budget.t ->
   Pa_models.variant ->
   Params.t ->
   Requirements.requirement ->
@@ -79,3 +99,28 @@ val check_live :
     it is actually applied.  [domains], [store] and [workstealing]
     take effect with the {!Ltl.Check.Scc} engine (see
     {!Ltl.Check.check}). *)
+
+val check_live_run :
+  ?engine:Ltl.Check.engine ->
+  ?max_states:int ->
+  ?reduce:bool ->
+  ?domains:int ->
+  ?store:Mc.Store.mode ->
+  ?workstealing:bool ->
+  ?budget:Mc.Budget.t ->
+  ?checkpoint:
+    (int
+    * ((Proc.Semantics.state, Proc.Semantics.label) Ltl.Check.product_cursor ->
+      unit)) ->
+  ?resume:
+    (Proc.Semantics.state, Proc.Semantics.label) Ltl.Check.product_cursor ->
+  Pa_models.variant ->
+  Params.t ->
+  Requirements.requirement ->
+  (Proc.Semantics.state, Proc.Semantics.label) Ltl.Check.run_result
+(** The resilient form of {!check_live} ({!Ltl.Check.check_run}): a
+    budget trip with the {!Ltl.Check.Scc} engine suspends into a
+    checkpointable product cursor instead of concluding, and [resume]
+    continues from one.
+    @raise Invalid_argument if [checkpoint]/[resume] is combined with
+    the {!Ltl.Check.Ndfs} engine. *)

@@ -2,6 +2,7 @@ type outcome = {
   holds : bool;
   counterexample : Ta.Semantics.label list option;
   states_explored : int option;
+  exhausted : Mc.Explore.exhaustion option;
 }
 
 let default_max = 5_000_000
@@ -15,19 +16,38 @@ let expected_of model =
   | Lint.Interval.Unbounded -> None
 
 let check ?(fixed = false) ?(max_states = default_max) ?(domains = 1) ?store
-    ?workstealing variant params req =
+    ?workstealing ?budget ?degrade variant params req =
   let with_r1_monitors = Requirements.needs_monitors req in
   let model = Ta_models.build ~fixed ~with_r1_monitors variant params in
   let net = Ta.Semantics.compile model in
   let bad = Requirements.bad_state variant params net req in
   match
     Mc.Safety.check_state ~max_states ?expected_states:(expected_of model)
-      ~domains ?store ?workstealing (Ta.Semantics.system net) bad
+      ~domains ?store ?workstealing ?budget ?degrade
+      (Ta.Semantics.system net) bad
   with
   | Mc.Safety.Holds ->
-      { holds = true; counterexample = None; states_explored = None }
+      {
+        holds = true;
+        counterexample = None;
+        states_explored = None;
+        exhausted = None;
+      }
   | Mc.Safety.Violated trace ->
-      { holds = false; counterexample = Some trace; states_explored = None }
+      {
+        holds = false;
+        counterexample = Some trace;
+        states_explored = None;
+        exhausted = None;
+      }
+  | Mc.Safety.Exhausted e ->
+      (* no violation in the covered fraction, but no full verdict either *)
+      {
+        holds = false;
+        counterexample = None;
+        states_explored = Some e.Mc.Explore.states_so_far;
+        exhausted = Some e;
+      }
   | Mc.Safety.Unknown n ->
       Format.kasprintf failwith
         "Verify.check: state bound %d exceeded (%s, %s, %a)" n
@@ -35,12 +55,22 @@ let check ?(fixed = false) ?(max_states = default_max) ?(domains = 1) ?store
         (Requirements.name req) Params.pp params
 
 let check_live ?(fixed = false) ?(engine = Ltl.Check.Ndfs)
-    ?(max_states = default_max) ?domains ?store ?workstealing variant params
-    req =
+    ?(max_states = default_max) ?domains ?store ?workstealing ?budget variant
+    params req =
   let model = Ta_models.build ~fixed variant params in
   let net = Ta.Semantics.compile model in
   Ltl.Check.check ~engine ~fairness:Requirements.live_fairness ~max_states
-    ?domains ?store ?workstealing
+    ?domains ?store ?workstealing ?budget
+    (Ta.Semantics.system net)
+    (Requirements.live_formula variant params req)
+
+let check_live_run ?(fixed = false) ?(engine = Ltl.Check.Ndfs)
+    ?(max_states = default_max) ?domains ?store ?workstealing ?budget
+    ?checkpoint ?resume variant params req =
+  let model = Ta_models.build ~fixed variant params in
+  let net = Ta.Semantics.compile model in
+  Ltl.Check.check_run ~engine ~fairness:Requirements.live_fairness ~max_states
+    ?domains ?store ?workstealing ?budget ?checkpoint ?resume
     (Ta.Semantics.system net)
     (Requirements.live_formula variant params req)
 
@@ -60,6 +90,10 @@ let r1_holds_with_bound ~fixed ~max_states ~domains variant params bound =
   | Mc.Safety.Violated _ -> false
   | Mc.Safety.Unknown n ->
       Format.kasprintf failwith "Verify.worst_detection: state bound %d hit" n
+  | Mc.Safety.Exhausted e ->
+      (* unreachable without a budget (none is passed above) *)
+      Format.kasprintf failwith "Verify.worst_detection: %a"
+        Mc.Explore.pp_exhaustion e
 
 let worst_detection ?(fixed = false) ?(max_states = default_max)
     ?(domains = 1) variant params =
@@ -116,21 +150,36 @@ let pp_table ppf ~header rows =
   List.iter (fun r -> Format.fprintf ppf " %4s" (tf r.r3)) rows;
   Format.fprintf ppf "@."
 
-let deadlock_free ?(fixed = false) ?(max_states = default_max) ?(domains = 1)
-    ?(store = Mc.Store.Exact) ?workstealing variant params =
+let deadlocks ?(fixed = false) ?(max_states = default_max) ?(domains = 1)
+    ?(store = Mc.Store.Exact) ?workstealing ?budget ?degrade variant params =
   let model = Ta_models.build ~fixed variant params in
   let net = Ta.Semantics.compile model in
   let sys = Ta.Semantics.system net in
   let goal c = Ta.Semantics.successors net c = [] in
   let expected_states = expected_of model in
   match
-    if domains <= 1 && store = Mc.Store.Exact && workstealing = None then
-      Mc.Explore.find ~max_states ?expected_states ~goal sys
+    if
+      domains <= 1 && store = Mc.Store.Exact && workstealing = None
+      && budget = None
+    then Mc.Explore.find ~max_states ?expected_states ~goal sys
     else
       Mc.Pexplore.find ~max_states ?expected_states ~domains ~store
-        ?workstealing ~goal sys
+        ?workstealing ?budget ?degrade ~goal sys
   with
-  | Mc.Explore.Unreachable -> true
-  | Mc.Explore.Reached _ -> false
-  | Mc.Explore.Bound_hit n ->
+  | Mc.Explore.Unreachable -> Mc.Safety.Holds
+  | Mc.Explore.Reached w -> Mc.Safety.Violated w.Mc.Explore.trace
+  | Mc.Explore.Bound_hit n -> Mc.Safety.Unknown n
+  | Mc.Explore.Exhausted e -> Mc.Safety.Exhausted e
+
+let deadlock_free ?fixed ?max_states ?domains ?store ?workstealing variant
+    params =
+  match
+    deadlocks ?fixed ?max_states ?domains ?store ?workstealing variant params
+  with
+  | Mc.Safety.Holds -> true
+  | Mc.Safety.Violated _ -> false
+  | Mc.Safety.Unknown n ->
       Format.kasprintf failwith "Verify.deadlock_free: state bound %d hit" n
+  | Mc.Safety.Exhausted e ->
+      Format.kasprintf failwith "Verify.deadlock_free: %a"
+        Mc.Explore.pp_exhaustion e

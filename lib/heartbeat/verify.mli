@@ -10,6 +10,10 @@ type outcome = {
   counterexample : Ta.Semantics.label list option;
       (** a shortest violating trace, when [holds] is false *)
   states_explored : int option;  (** when cheaply available *)
+  exhausted : Mc.Explore.exhaustion option;
+      (** set when the resource budget tripped before a full verdict:
+          [holds] is then [false] with no counterexample, meaning
+          "no violation found in the covered fraction" *)
 }
 
 val check :
@@ -18,6 +22,8 @@ val check :
   ?domains:int ->
   ?store:Mc.Store.mode ->
   ?workstealing:bool ->
+  ?budget:Mc.Budget.t ->
+  ?degrade:bool ->
   Ta_models.variant ->
   Params.t ->
   Requirements.requirement ->
@@ -28,6 +34,10 @@ val check :
     [store] and [workstealing] are forwarded to {!Mc.Safety}: a
     compressed store makes [holds = true] probabilistic (omitted states
     are never explored), while violations found are always real.
+    [budget] bounds the run by wall clock / live heap; a trip is
+    reported in [outcome.exhausted] rather than raising, and with
+    [degrade] (default [true]) memory trips first walk the store down
+    the compression ladder (see {!Mc.Safety.check_monitor}).
     @raise Failure if the state bound is exceeded (no verdict). *)
 
 val check_live :
@@ -37,6 +47,7 @@ val check_live :
   ?domains:int ->
   ?store:Mc.Store.mode ->
   ?workstealing:bool ->
+  ?budget:Mc.Budget.t ->
   Ta_models.variant ->
   Params.t ->
   Requirements.requirement ->
@@ -47,6 +58,30 @@ val check_live :
     included: R1-live is a pure LTL property.  A refutation carries a
     lasso (render it with {!Msc.render_lasso}); [Unknown] is returned
     when the product state bound is hit. *)
+
+val check_live_run :
+  ?fixed:bool ->
+  ?engine:Ltl.Check.engine ->
+  ?max_states:int ->
+  ?domains:int ->
+  ?store:Mc.Store.mode ->
+  ?workstealing:bool ->
+  ?budget:Mc.Budget.t ->
+  ?checkpoint:
+    (int
+    * ((Ta.Semantics.config, Ta.Semantics.label) Ltl.Check.product_cursor ->
+      unit)) ->
+  ?resume:(Ta.Semantics.config, Ta.Semantics.label) Ltl.Check.product_cursor ->
+  Ta_models.variant ->
+  Params.t ->
+  Requirements.requirement ->
+  (Ta.Semantics.config, Ta.Semantics.label) Ltl.Check.run_result
+(** The resilient form of {!check_live} ({!Ltl.Check.check_run}): a
+    budget trip with the {!Ltl.Check.Scc} engine suspends into a
+    checkpointable product cursor instead of concluding, and [resume]
+    continues from one.
+    @raise Invalid_argument if [checkpoint]/[resume] is combined with
+    the {!Ltl.Check.Ndfs} engine. *)
 
 type row = {
   tmin : int;
@@ -83,6 +118,22 @@ val worst_detection :
     @raise Failure if even the bound [4*tmax] is violated (p\[0\] can
     starve forever — e.g. the dynamic protocol's leave semantics). *)
 
+val deadlocks :
+  ?fixed:bool ->
+  ?max_states:int ->
+  ?domains:int ->
+  ?store:Mc.Store.mode ->
+  ?workstealing:bool ->
+  ?budget:Mc.Budget.t ->
+  ?degrade:bool ->
+  Ta_models.variant ->
+  Params.t ->
+  Ta.Semantics.label Mc.Safety.verdict
+(** Deadlock search as a full verdict: {!Mc.Safety.Holds} means no
+    configuration without successors, [Violated] carries a shortest
+    trace to one, and a [budget] trip yields [Exhausted] instead of
+    raising. *)
+
 val deadlock_free :
   ?fixed:bool ->
   ?max_states:int ->
@@ -94,4 +145,5 @@ val deadlock_free :
   bool
 (** Sanity check used by the test suite: the model has no configuration
     without successors (would indicate a modelling artefact such as a
-    blocked urgent location). *)
+    blocked urgent location).
+    @raise Failure on a hit state bound or tripped budget. *)

@@ -25,8 +25,21 @@ let response name ~trigger ~response =
         (Formula.infinitely_often (Formula.lbl (name ^ ".response") response));
   }
 
-type 'l verdict = Holds | Refuted of 'l lasso | Unknown of int
+type 'l verdict =
+  | Holds
+  | Refuted of 'l lasso
+  | Unknown of int
+  | Exhausted of Mc.Explore.exhaustion
+
 type engine = Ndfs | Scc
+
+(* A suspended product-space build (Scc engine): the cursor ranges over
+   product states [('s * int)] and step labels. *)
+type ('s, 'l) product_cursor = ('s * int, 'l step) Mc.Explore.cursor
+
+type ('s, 'l) run_result =
+  | Concluded of 'l verdict
+  | Suspended of Mc.Budget.reason * ('s, 'l) product_cursor
 
 (* ------------------------------------------------------------------ *)
 (* Büchi product                                                       *)
@@ -79,8 +92,15 @@ let product (type s l) ((module S) : (s, l) Mc.System.t) (ba : l Buchi.t)
 (* Emptiness engines                                                   *)
 (* ------------------------------------------------------------------ *)
 
-(* Shared result type: labels of a lasso witness, or a truncation count. *)
-type 'm search = SEmpty | SNonempty of 'm list * 'm list | STrunc of int
+(* Shared result type: labels of a lasso witness, a truncation count, a
+   budget trip mid-search ([SExh], NDFS), or a suspended space build
+   with its resume cursor ([SSusp], SCC). *)
+type ('p, 'm) search =
+  | SEmpty
+  | SNonempty of 'm list * 'm list
+  | STrunc of int
+  | SExh of Mc.Budget.reason * int
+  | SSusp of Mc.Budget.reason * ('p, 'm) Mc.Explore.cursor
 
 (* Nested DFS (Courcoubetis–Vardi–Wolper–Yannakakis, with the cyan-state
    improvement of Schwoon–Esparza): a blue DFS explores the product; at
@@ -90,7 +110,7 @@ type 'm search = SEmpty | SNonempty of 'm list * 'm list | STrunc of int
    state closes one directly when either endpoint accepts.  Both DFSs are
    iterative with explicit frames — product stacks can be far deeper than
    the OCaml call stack allows. *)
-let ndfs_emptiness (type p m) ((module P) : (p, m) Mc.System.t)
+let ndfs_emptiness (type p m) ?budget ((module P) : (p, m) Mc.System.t)
     ~(accepting : p -> bool) ~max_states =
   let module M = struct
     type frame = { st : p; inlab : m option; mutable succs : (m * p) list }
@@ -98,6 +118,7 @@ let ndfs_emptiness (type p m) ((module P) : (p, m) Mc.System.t)
 
     exception Lasso of m list * m list
     exception Bound
+    exception Exh of Mc.Budget.reason
 
     module H = Hashtbl.Make (struct
       type t = p
@@ -109,6 +130,14 @@ let ndfs_emptiness (type p m) ((module P) : (p, m) Mc.System.t)
   let open M in
   let info : cinfo H.t = H.create 4096 in
   let intern s =
+    (* polled on every product-state touch; [Budget.check] rate-limits
+       the expensive probes internally *)
+    (match budget with
+    | Some b -> (
+        match Mc.Budget.check b with
+        | Some r -> raise (Exh r)
+        | None -> ())
+    | None -> ());
     match H.find_opt info s with
     | Some r -> r
     | None ->
@@ -202,6 +231,7 @@ let ndfs_emptiness (type p m) ((module P) : (p, m) Mc.System.t)
   with
   | Lasso (prefix, cycle) -> SNonempty (prefix, cycle)
   | Bound -> STrunc (H.length info)
+  | Exh r -> SExh (r, H.length info)
 
 (* Shortest path from the initial state to a goal state: labels plus the
    state reached. *)
@@ -299,15 +329,28 @@ let bfs_cycle g comp c a =
    shortest lasso into it by breadth-first search — deterministic, and
    minimal in prefix length. *)
 let scc_emptiness (type p m) ?(domains = 1) ?(store = Mc.Store.Exact)
-    ?workstealing (sys : (p, m) Mc.System.t) ~(accepting : p -> bool)
-    ~max_states =
-  let space =
+    ?workstealing ?budget ?checkpoint ?resume (sys : (p, m) Mc.System.t)
+    ~(accepting : p -> bool) ~max_states =
+  let resilient = budget <> None || checkpoint <> None || resume <> None in
+  let run =
     (* the parallel engine's replay mode reproduces Explore.space
        byte-for-byte, so the graph (and hence the lasso) is unchanged *)
     if domains <= 1 && store = Mc.Store.Exact && workstealing = None then
-      Mc.Explore.space ~max_states sys
-    else Mc.Pexplore.space ~max_states ~domains ~store ?workstealing sys
+      Mc.Explore.space_run ~max_states ?budget ?checkpoint ?resume sys
+    else if not resilient then
+      Mc.Explore.Done
+        (Mc.Pexplore.space ~max_states ~domains ~store ?workstealing sys)
+    else
+      (* resilience needs the work-stealing engine; degradation is off
+         because a compressed product space cannot carry the lasso
+         extraction (state identities degrade away) *)
+      fst
+        (Mc.Pexplore.space_run ~max_states ~domains ~store ?budget
+           ~degrade:false ?resume sys)
   in
+  match run with
+  | Mc.Explore.Suspended (reason, cursor) -> SSusp (reason, cursor)
+  | Mc.Explore.Done space ->
   let g = space.Mc.Explore.lts in
   let count, comp = Lts.Graph.scc g in
   let nontrivial = Array.make (max count 1) false in
@@ -330,9 +373,16 @@ let scc_emptiness (type p m) ?(domains = 1) ?(store = Mc.Store.Exact)
 (* Top level                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let check ?(engine = Ndfs) ?(stutter = Extend) ?(fairness = []) ?reduction
-    ?(max_states = Mc.Explore.default_max) ?domains ?store ?workstealing sys f
-    =
+let check_run ?(engine = Ndfs) ?(stutter = Extend) ?(fairness = []) ?reduction
+    ?(max_states = Mc.Explore.default_max) ?domains ?store ?workstealing
+    ?budget ?checkpoint ?resume sys f =
+  (match engine with
+  | Scc -> ()
+  | Ndfs ->
+      if checkpoint <> None || resume <> None then
+        invalid_arg
+          "Ltl.Check: checkpoint/resume requires the Scc engine (the \
+           nested-DFS search state is not checkpointable)");
   let checked =
     match fairness with
     | [] -> f
@@ -358,15 +408,50 @@ let check ?(engine = Ndfs) ?(stutter = Extend) ?(fairness = []) ?reduction
   let psys, accepting = product sys ba ~stutter in
   let result =
     match engine with
-    | Ndfs -> ndfs_emptiness psys ~accepting ~max_states
-    | Scc -> scc_emptiness ?domains ?store ?workstealing psys ~accepting ~max_states
+    | Ndfs -> ndfs_emptiness ?budget psys ~accepting ~max_states
+    | Scc ->
+        scc_emptiness ?domains ?store ?workstealing ?budget ?checkpoint
+          ?resume psys ~accepting ~max_states
   in
   match result with
-  | SEmpty -> Holds
-  | SNonempty (prefix, cycle) -> Refuted { prefix; cycle }
-  | STrunc n -> Unknown n
+  | SEmpty -> Concluded Holds
+  | SNonempty (prefix, cycle) -> Concluded (Refuted { prefix; cycle })
+  | STrunc n -> Concluded (Unknown n)
+  | SExh (reason, n) ->
+      Concluded
+        (Exhausted
+           {
+             Mc.Explore.reason;
+             states_so_far = n;
+             coverage =
+               Mc.Store.coverage_of ~mode:Mc.Store.exact ~stored:n;
+           })
+  | SSusp (reason, cursor) -> Suspended (reason, cursor)
 
-let holds = function Holds -> true | Refuted _ | Unknown _ -> false
+let check ?engine ?stutter ?fairness ?reduction ?max_states ?domains ?store
+    ?workstealing ?budget sys f =
+  match
+    check_run ?engine ?stutter ?fairness ?reduction ?max_states ?domains
+      ?store ?workstealing ?budget sys f
+  with
+  | Concluded v -> v
+  | Suspended (reason, cursor) ->
+      (* no checkpoint sink was given, so fold the suspension into the
+         qualified verdict *)
+      let n = Mc.Explore.cursor_states cursor in
+      let mode =
+        match store with Some m -> m | None -> Mc.Store.exact
+      in
+      Exhausted
+        {
+          Mc.Explore.reason;
+          states_so_far = n;
+          coverage = Mc.Store.coverage_of ~mode ~stored:n;
+        }
+
+let holds = function
+  | Holds -> true
+  | Refuted _ | Unknown _ | Exhausted _ -> false
 
 let strip steps =
   List.filter_map (function Step l -> Some l | Stutter -> None) steps
@@ -378,6 +463,7 @@ let pp_step ~pp_label ppf = function
 let pp_verdict ~pp_label ppf = function
   | Holds -> Format.pp_print_string ppf "holds"
   | Unknown n -> Format.fprintf ppf "unknown (state bound hit at %d)" n
+  | Exhausted e -> Mc.Explore.pp_exhaustion ppf e
   | Refuted { prefix; cycle } ->
       Format.fprintf ppf "@[<v>refuted by lasso:@,";
       List.iter

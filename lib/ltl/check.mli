@@ -67,8 +67,22 @@ type 'l verdict =
   | Holds  (** every (fair) run satisfies the formula *)
   | Refuted of 'l lasso  (** a fair run violating the formula *)
   | Unknown of int  (** product state bound hit before a verdict *)
+  | Exhausted of Mc.Explore.exhaustion
+      (** the resource budget tripped before a verdict: no accepting
+          cycle among the product states actually explored *)
 
 type engine = Ndfs | Scc
+
+type ('s, 'l) product_cursor = ('s * int, 'l step) Mc.Explore.cursor
+(** A suspended {!Scc} product-space build: an {!Mc.Explore.cursor}
+    over product states (system state × automaton state) and step
+    labels.  Marshal it (see {!Mc.Checkpoint}) to resume the check in a
+    later process — the resuming call must rebuild the {e same} system
+    and formula. *)
+
+type ('s, 'l) run_result =
+  | Concluded of 'l verdict
+  | Suspended of Mc.Budget.reason * ('s, 'l) product_cursor
 
 val check :
   ?engine:engine ->
@@ -79,6 +93,7 @@ val check :
   ?domains:int ->
   ?store:Mc.Store.mode ->
   ?workstealing:bool ->
+  ?budget:Mc.Budget.t ->
   ('s, 'l) Mc.System.t ->
   'l Formula.t ->
   'l verdict
@@ -108,7 +123,39 @@ val check :
     ignores all three.  A {!Store.Bitstate} store is rejected by the
     {!Scc} engine (no state graph); {!Store.Hash_compaction} makes a
     [Holds] verdict probabilistic in the usual under-approximating
-    sense. *)
+    sense.
+
+    [budget] bounds the check by wall clock / live heap / cancellation
+    ({!Mc.Budget}); a trip yields {!Exhausted} with the product-state
+    count reached.  Both engines poll it: {!Ndfs} once per product
+    state touched, {!Scc} within the underlying space build. *)
+
+val check_run :
+  ?engine:engine ->
+  ?stutter:stutter_policy ->
+  ?fairness:'l fairness list ->
+  ?reduction:(alphabet:string list -> ('s, 'l) Mc.System.t option) ->
+  ?max_states:int ->
+  ?domains:int ->
+  ?store:Mc.Store.mode ->
+  ?workstealing:bool ->
+  ?budget:Mc.Budget.t ->
+  ?checkpoint:(int * (('s, 'l) product_cursor -> unit)) ->
+  ?resume:('s, 'l) product_cursor ->
+  ('s, 'l) Mc.System.t ->
+  'l Formula.t ->
+  ('s, 'l) run_result
+(** The resilient form of {!check} ({!Scc} engine for
+    checkpoint/resume).  On a budget trip the product-space build
+    suspends into a {!product_cursor} instead of concluding; [resume]
+    continues from one.  [checkpoint = (every, f)] additionally calls
+    [f] with a consistent snapshot every [every] expanded product
+    states on the {e sequential} Scc path (exact store, one domain) —
+    the parallel path checkpoints only at suspension.  Sequential
+    resumed runs are byte-identical to uninterrupted ones (same graph,
+    same lasso); parallel ones are verdict-identical.
+    @raise Invalid_argument if [checkpoint] or [resume] is given with
+    the {!Ndfs} engine (its search state is not checkpointable). *)
 
 val product :
   ('s, 'l) Mc.System.t ->

@@ -26,51 +26,136 @@ module Table (S : System.S) = Hashtbl.Make (struct
   let hash = S.hash_state
 end)
 
-let space (type s l) ?(max_states = default_max) ?expected_states
-    (sys : (s, l) System.t) : (s, l) space =
+type exhaustion = {
+  reason : Budget.reason;
+  states_so_far : int;
+  coverage : Store.coverage;
+}
+
+let pp_exhaustion ppf e =
+  Format.fprintf ppf "exhausted after %d states: %a" e.states_so_far
+    Budget.pp_reason e.reason
+
+type ('s, 'l) cursor = {
+  c_max_states : int;
+  c_states : 's array; (* discovery order; index = state id *)
+  c_depths : int array;
+  c_trans : (int * 'l * int) list; (* accumulated, newest first *)
+  c_queue : int array; (* unexpanded state ids, front first *)
+  c_complete : bool;
+}
+
+let cursor_states c = Array.length c.c_states
+let cursor_frontier c = Array.length c.c_queue
+
+type ('s, 'l) run_result =
+  | Done of ('s, 'l) space
+  | Suspended of Budget.reason * ('s, 'l) cursor
+
+let space_run (type s l) ?(max_states = default_max) ?expected_states ?budget
+    ?checkpoint ?resume (sys : (s, l) System.t) : (s, l) run_result =
   let module S = (val sys) in
   let module T = Table (S) in
   let index = T.create (initial_capacity expected_states) in
   let states = ref [] in
+  let depths = ref [] in
   let count = ref 0 in
   let complete = ref true in
-  let intern s =
+  let transitions = ref [] in
+  (* Queue entries carry the BFS depth so cursors record it for the
+     parallel engine's truncation machinery; the sequential loop itself
+     never branches on it. *)
+  let queue : (int * s * int) Queue.t = Queue.create () in
+  let intern s d =
     match T.find_opt index s with
     | Some i -> i
     | None ->
         let i = !count in
         T.add index s i;
         states := s :: !states;
+        depths := d :: !depths;
         incr count;
         i
   in
-  let transitions = ref [] in
-  let queue = Queue.create () in
-  let i0 = intern S.initial in
-  Queue.add (i0, S.initial) queue;
-  while not (Queue.is_empty queue) do
-    let i, s = Queue.pop queue in
-    List.iter
-      (fun (l, s') ->
-        (* Truncation contract: once the bound is reached no new state is
-           interned, but every retained state is still expanded and
-           transitions between retained states are kept — the result is
-           the induced subgraph on the first [max_states] states in BFS
-           discovery order (see the .mli). *)
-        if !count < max_states || T.mem index s' then begin
-          let before = !count in
-          let j = intern s' in
-          transitions := (i, l, j) :: !transitions;
-          if j >= before then Queue.add (j, s') queue
-        end
-        else complete := false)
-      (S.successors s)
-  done;
-  let states = Array.of_list (List.rev !states) in
-  let lts =
-    Lts.Graph.make ~num_states:!count ~initial:i0 (List.rev !transitions)
+  (match resume with
+  | None ->
+      let i0 = intern S.initial 0 in
+      Queue.add (i0, S.initial, 0) queue
+  | Some c ->
+      if c.c_max_states <> max_states then
+        invalid_arg
+          (Printf.sprintf
+             "Mc.Explore.space_run: checkpoint was taken with \
+              max_states=%d, resumed with %d"
+             c.c_max_states max_states);
+      (* Re-interning in discovery order reproduces the table, the
+         reversed state list and the id counter exactly, so the
+         continuation is byte-identical to an uninterrupted run. *)
+      Array.iteri (fun i s -> ignore (intern s c.c_depths.(i))) c.c_states;
+      transitions := c.c_trans;
+      complete := c.c_complete;
+      Array.iter
+        (fun i -> Queue.add (i, c.c_states.(i), c.c_depths.(i)) queue)
+        c.c_queue);
+  let snapshot () =
+    {
+      c_max_states = max_states;
+      c_states = Array.of_list (List.rev !states);
+      c_depths = Array.of_list (List.rev !depths);
+      c_trans = !transitions;
+      c_queue =
+        Array.of_seq (Seq.map (fun (i, _, _) -> i) (Queue.to_seq queue));
+      c_complete = !complete;
+    }
   in
-  { lts; states; complete = !complete }
+  let expanded = ref 0 in
+  let suspended = ref None in
+  (try
+     while not (Queue.is_empty queue) do
+       (match budget with
+       | Some b -> (
+           match Budget.check b with
+           | Some r ->
+               suspended := Some (Suspended (r, snapshot ()));
+               raise Exit
+           | None -> ())
+       | None -> ());
+       let i, s, d = Queue.pop queue in
+       List.iter
+         (fun (l, s') ->
+           (* Truncation contract: once the bound is reached no new state
+              is interned, but every retained state is still expanded and
+              transitions between retained states are kept — the result
+              is the induced subgraph on the first [max_states] states in
+              BFS discovery order (see the .mli). *)
+           if !count < max_states || T.mem index s' then begin
+             let before = !count in
+             let j = intern s' (d + 1) in
+             transitions := (i, l, j) :: !transitions;
+             if j >= before then Queue.add (j, s', d + 1) queue
+           end
+           else complete := false)
+         (S.successors s);
+       incr expanded;
+       match checkpoint with
+       | Some (every, f) when every > 0 && !expanded mod every = 0 ->
+           f (snapshot ())
+       | _ -> ()
+     done
+   with Exit -> ());
+  match !suspended with
+  | Some r -> r
+  | None ->
+      let states = Array.of_list (List.rev !states) in
+      let lts =
+        Lts.Graph.make ~num_states:!count ~initial:0 (List.rev !transitions)
+      in
+      Done { lts; states; complete = !complete }
+
+let space ?max_states ?expected_states sys =
+  match space_run ?max_states ?expected_states sys with
+  | Done sp -> sp
+  | Suspended _ -> assert false (* no budget, cannot suspend *)
 
 type ('s, 'l) witness = { trace : 'l list; state : 's }
 
@@ -78,8 +163,9 @@ type ('s, 'l) verdict =
   | Unreachable
   | Reached of ('s, 'l) witness
   | Bound_hit of int
+  | Exhausted of exhaustion
 
-let find (type s l) ?(max_states = default_max) ?expected_states ~goal
+let find (type s l) ?(max_states = default_max) ?expected_states ?budget ~goal
     (sys : (s, l) System.t) : (s, l) verdict =
   let module S = (val sys) in
   let module T = Table (S) in
@@ -116,9 +202,18 @@ let find (type s l) ?(max_states = default_max) ?expected_states ~goal
     let i0 = push S.initial None in
     Queue.add i0 queue;
     let result = ref None in
+    let exhausted = ref None in
     let truncated = ref false in
     (try
        while not (Queue.is_empty queue) do
+         (match budget with
+         | Some b -> (
+             match Budget.check b with
+             | Some r ->
+                 exhausted := Some r;
+                 raise Exit
+             | None -> ())
+         | None -> ());
          let i = Queue.pop queue in
          let s = !states.(i) in
          List.iter
@@ -136,12 +231,19 @@ let find (type s l) ?(max_states = default_max) ?expected_states ~goal
            (S.successors s)
        done
      with Exit -> ());
-    match !result with
-    | Some (trace, state) -> Reached { trace; state }
-    | None -> if !truncated then Bound_hit max_states else Unreachable
+    match (!result, !exhausted) with
+    | Some (trace, state), _ -> Reached { trace; state }
+    | None, Some reason ->
+        Exhausted
+          {
+            reason;
+            states_so_far = !count;
+            coverage = Store.coverage_of ~mode:Store.exact ~stored:!count;
+          }
+    | None, None -> if !truncated then Bound_hit max_states else Unreachable
   end
 
-let count (type s l) ?(max_states = default_max) ?expected_states
+let count (type s l) ?(max_states = default_max) ?expected_states ?budget
     (sys : (s, l) System.t) =
   let module S = (val sys) in
   let module T = Table (S) in
@@ -150,16 +252,26 @@ let count (type s l) ?(max_states = default_max) ?expected_states
   let complete = ref true in
   T.add visited S.initial ();
   Queue.add S.initial queue;
-  while not (Queue.is_empty queue) do
-    let s = Queue.pop queue in
-    List.iter
-      (fun (_, s') ->
-        if not (T.mem visited s') then
-          if T.length visited >= max_states then complete := false
-          else begin
-            T.add visited s' ();
-            Queue.add s' queue
-          end)
-      (S.successors s)
-  done;
+  (try
+     while not (Queue.is_empty queue) do
+       (match budget with
+       | Some b -> (
+           match Budget.check b with
+           | Some _ ->
+               complete := false;
+               raise Exit
+           | None -> ())
+       | None -> ());
+       let s = Queue.pop queue in
+       List.iter
+         (fun (_, s') ->
+           if not (T.mem visited s') then
+             if T.length visited >= max_states then complete := false
+             else begin
+               T.add visited s' ();
+               Queue.add s' queue
+             end)
+         (S.successors s)
+     done
+   with Exit -> ());
   (T.length visited, !complete)

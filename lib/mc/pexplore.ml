@@ -56,7 +56,21 @@ type stats = {
   steals : int;
   relaxations : int;
   coverage : Store.coverage;
+  exhausted : Budget.reason option;
+  degraded : string list;
+  retries : int;
 }
+
+let pp_resilience ppf s =
+  (match s.exhausted with
+  | Some r -> Format.fprintf ppf "@,exhausted: %a" Budget.pp_reason r
+  | None -> ());
+  if s.degraded <> [] then
+    Format.fprintf ppf "@,store degraded in place: %s"
+      (String.concat " -> " s.degraded);
+  if s.retries > 0 then
+    Format.fprintf ppf "@,%d poisoned item(s) quarantined and retried"
+      s.retries
 
 let pp_stats ppf s =
   let occ_min, occ_max =
@@ -68,13 +82,13 @@ let pp_stats ppf s =
     "@[<v>%d states, %d transitions in %.3fs (%.0f states/s, %d domains, %s \
      engine)@,\
      depth %d, peak frontier %d, shard occupancy %d..%d over %d shards@,\
-     %d steals, %d relaxations; store %a@]"
+     %d steals, %d relaxations; store %a%a@]"
     s.states s.transitions s.wall_seconds s.states_per_sec s.domains_used
     s.engine
     (Array.length s.depth_histogram - 1)
     s.peak_frontier occ_min occ_max
     (Array.length s.shard_occupancy)
-    s.steals s.relaxations Store.pp_coverage s.coverage
+    s.steals s.relaxations Store.pp_coverage s.coverage pp_resilience s
 
 let default_domains () = max 1 (Domain.recommended_domain_count ())
 let default_shards = 64
@@ -550,14 +564,18 @@ module Engine (S : System.S) = struct
     levels : int list;  (* level sizes, deepest first *)
     dropped : bool;  (* back-edge pass saw an unknown successor *)
     tbl : St.t;
+    exh : Budget.reason option;  (* budget tripped between levels *)
   }
 
   (* The shared level-synchronised loop.  [keep_adj] retains successor
      records for the replay; [goal] marks fresh states; [stop_on_goal]
      ends the loop at the first level that both contains a goal-flagged
-     state and is entirely within the canonical [max_states] prefix. *)
-  let explore ?expected_states ~max_states ~domains ~shards ~store_mode
-      ~progress ~keep_adj ~goal ~stop_on_goal () =
+     state and is entirely within the canonical [max_states] prefix.
+     [budget] is polled at level barriers only — this engine has no
+     mid-level suspension, degradation or quarantine; the work-stealing
+     engine is the resilient one. *)
+  let explore ?expected_states ?budget ~max_states ~domains ~shards
+      ~store_mode ~progress ~keep_adj ~goal ~stop_on_goal () =
     if domains < 1 then invalid_arg "Mc.Pexplore: domains must be >= 1";
     if max_states < 0 then invalid_arg "Mc.Pexplore: negative max_states";
     let crew = Crew.create domains in
@@ -587,6 +605,20 @@ module Engine (S : System.S) = struct
       chunks
     in
     let rec loop front depth =
+      match
+        match budget with Some b -> Budget.check b | None -> None
+      with
+      | Some _ as exh ->
+          {
+            total = St.total tbl;
+            store;
+            levels = !levels;
+            dropped = false;
+            tbl;
+            exh;
+          }
+      | None -> loop_body front depth
+    and loop_body front depth =
       levels := Array.length front :: !levels;
       let total = St.total tbl in
       progress ~depth ~states:total ~frontier:(Array.length front);
@@ -604,10 +636,17 @@ module Engine (S : System.S) = struct
                 c.recs)
             chunks
         in
-        { total; store; levels = !levels; dropped; tbl }
+        { total; store; levels = !levels; dropped; tbl; exh = None }
       end
       else if Array.length front = 0 then
-        { total; store; levels = List.tl !levels; dropped = false; tbl }
+        {
+          total;
+          store;
+          levels = List.tl !levels;
+          dropped = false;
+          tbl;
+          exh = None;
+        }
       else begin
         let chunks = expand ~lookup_only:false front in
         record_recs chunks;
@@ -633,14 +672,22 @@ module Engine (S : System.S) = struct
             chunks.(ci).fresh
         done;
         if !goal_hit && stop_on_goal && total' <= max_states then
-          { total = total'; store; levels = !levels; dropped = false; tbl }
+          {
+            total = total';
+            store;
+            levels = !levels;
+            dropped = false;
+            tbl;
+            exh = None;
+          }
         else loop next (depth + 1)
       end
     in
     loop [| (pid0, S.initial) |] 0
 
-  let stats_of ~engine ~count ~transitions ~wall ~peak ~histogram ~tbl
-      ~domains ~steals ~relaxations =
+  let stats_of ?(exhausted = None) ?(degraded = []) ?(retries = 0) ~engine
+      ~count ~transitions ~wall ~peak ~histogram ~tbl ~domains ~steals
+      ~relaxations () =
     {
       states = count;
       transitions;
@@ -654,6 +701,9 @@ module Engine (S : System.S) = struct
       steals;
       relaxations;
       coverage = St.coverage tbl;
+      exhausted;
+      degraded;
+      retries;
     }
 
   let space ?expected_states ~max_states ~domains ~shards ~store_mode
@@ -681,13 +731,15 @@ module Engine (S : System.S) = struct
         ~wall
         ~peak:(List.fold_left max 0 expl.levels)
         ~histogram:(Array.of_list (List.rev expl.levels))
-        ~tbl:expl.tbl ~domains ~steals:0 ~relaxations:0
+        ~tbl:expl.tbl ~domains ~steals:0 ~relaxations:0 ()
     in
     ({ Explore.lts; states; complete = r.r_complete }, stats)
 
-  let count ?expected_states ~max_states ~domains ~shards ~store_mode () =
+  let count ?expected_states ?budget ~max_states ~domains ~shards ~store_mode
+      () =
     let expl =
-      explore ?expected_states ~max_states ~domains ~shards ~store_mode
+      explore ?expected_states ?budget ~max_states ~domains ~shards
+        ~store_mode
         ~progress:(fun ~depth:_ ~states:_ ~frontier:_ -> ())
         ~keep_adj:false
         ~goal:(fun _ -> false)
@@ -698,7 +750,9 @@ module Engine (S : System.S) = struct
        effective bound floors at one because the initial state is always
        interned, even under [max_states = 0]. *)
     let n = max 1 (min expl.total max_states) in
-    (n, expl.total <= max 1 max_states && not expl.dropped)
+    ( n,
+      expl.total <= max 1 max_states && (not expl.dropped) && expl.exh = None
+    )
 
   let trace_to st pid =
     let rec go pid acc =
@@ -708,17 +762,41 @@ module Engine (S : System.S) = struct
     in
     go pid []
 
-  let find ?expected_states ~max_states ~domains ~shards ~store_mode ~goal ()
-      =
+  let find ?expected_states ?budget ~max_states ~domains ~shards ~store_mode
+      ~goal () =
     if goal S.initial then
       Explore.Reached { Explore.trace = []; state = S.initial }
     else begin
       let expl =
-        explore ?expected_states ~max_states ~domains ~shards ~store_mode
+        explore ?expected_states ?budget ~max_states ~domains ~shards
+          ~store_mode
           ~progress:(fun ~depth:_ ~states:_ ~frontier:_ -> ())
           ~keep_adj:true ~goal ~stop_on_goal:true ()
       in
       let st = expl.store in
+      match expl.exh with
+      | Some reason ->
+          (* The run was cut short at a level barrier; a goal flagged in
+             an earlier level is still a real witness. *)
+          let witness = ref (-1) in
+          for pid = 0 to expl.total - 1 do
+            if !witness < 0 && Bytes.get st.goal_flag pid = '\001' then
+              witness := pid
+          done;
+          if !witness >= 0 then
+            Explore.Reached
+              {
+                Explore.trace = trace_to st !witness;
+                state = st.states_of.(!witness);
+              }
+          else
+            Explore.Exhausted
+              {
+                Explore.reason;
+                states_so_far = expl.total;
+                coverage = St.coverage expl.tbl;
+              }
+      | None ->
       (* The effective bound floors at one: the initial state is interned
          even under [max_states = 0], exactly as in [Explore.find]. *)
       let emax = max 1 max_states in
@@ -770,8 +848,17 @@ module Engine (S : System.S) = struct
   (* [ifresh] records whether the item comes from a [Fresh] intern (as
      opposed to a relaxation re-enqueue): in runs where no item is ever
      skipped it identifies the unique first expansion of the state
-     without touching the shared [expanded] bitset. *)
-  type item = { ipid : int; ist : S.state; idepth : int; ifresh : bool }
+     without touching the shared [expanded] bitset.  [iattempt] counts
+     quarantine retries: an item whose expansion raised is re-enqueued
+     once on a neighbouring domain with [iattempt = 1]; a second raise
+     records the state as unrecoverable. *)
+  type item = {
+    ipid : int;
+    ist : S.state;
+    idepth : int;
+    ifresh : bool;
+    iattempt : int;
+  }
 
   (* Per-domain depth histogram for first-time interns: a plain growable
      int array written only by the owning domain.  The counters are
@@ -820,6 +907,16 @@ module Engine (S : System.S) = struct
     goal : S.state -> bool;
     stop_on_goal : bool;
     domains : int;
+    (* --- resilience ----------------------------------------------- *)
+    budget : Budget.t option;
+    degrade_ok : bool;  (* memory trips walk the store down the ladder *)
+    degrade_m : Mutex.t;  (* serialises degradation; guards [degraded] *)
+    mutable degraded : string list;  (* ladder rungs taken, in order *)
+    retries : int Atomic.t;  (* poisoned items quarantined and retried *)
+    crash_m : Mutex.t;  (* guards [crashes] *)
+    mutable crashes : (item * string) list;  (* unrecoverable items *)
+    claims : bool;  (* track first expansions via the [expanded] bitset *)
+    resumed : bool;  (* seeded from a cursor: provisional order is inherited *)
   }
 
   (* The count of states stamped depth [d]: per-domain monotone fresh
@@ -851,6 +948,41 @@ module Engine (S : System.S) = struct
     done;
     if !cut < max_int then atomic_min ws.bound_cut !cut
 
+  (* Memory-budget trip: one worker wins the degradation lock, walks the
+     store a rung down the ladder and re-arms the budget; everyone else
+     carries on against the swapped representation.  At the bottom of
+     the ladder the trip stays sticky and the run suspends. *)
+  let try_degrade ws b =
+    Mutex.lock ws.degrade_m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock ws.degrade_m) @@ fun () ->
+    match Budget.tripped b with
+    | Some (Budget.Memory _) -> (
+        match St.degrade ws.tbl with
+        | Some mode ->
+            ws.degraded <- ws.degraded @ [ Store.mode_name mode ];
+            (* a major cycle lets the freed exact table actually go away
+               before the budget re-arms against the current heap *)
+            Gc.compact ();
+            Budget.rearm b
+        | None -> ())
+    | _ -> ()
+
+  let budget_tick ws =
+    match ws.budget with
+    | None -> ()
+    | Some b -> (
+        match Budget.check b with
+        | Some (Budget.Memory _) when ws.degrade_ok -> try_degrade ws b
+        | _ -> ())
+
+  (* A sticky trip (after any degradation had its chance) means the run
+     is suspending: workers drain their queues into [skipped] without
+     expanding, so the frontier is captured for the cursor. *)
+  let ws_suspended ws =
+    match ws.budget with
+    | None -> false
+    | Some b -> Budget.tripped b <> None
+
   let ws_worker ws k =
     let my = ws.deques.(k) in
     let dh = ws.dhists.(k) in
@@ -858,7 +990,9 @@ module Engine (S : System.S) = struct
        a flushed chunk runs in near-BFS order with no reversal) and
        first-expansion successor counts in a plain local counter,
        published once when the worker exits. *)
-    let dummy = { ipid = 0; ist = S.initial; idepth = 0; ifresh = false } in
+    let dummy =
+      { ipid = 0; ist = S.initial; idepth = 0; ifresh = false; iattempt = 0 }
+    in
     let buf = Array.make chunk_cap dummy in
     let fill_n = ref 0 in
     let edges_acc = ref 0 in
@@ -925,8 +1059,7 @@ module Engine (S : System.S) = struct
          item is expanded exactly once per enqueue and [ifresh] already
          identifies the first expansion, with no shared CAS. *)
       let first =
-        if ws.bounded || ws.stop_on_goal then Aflags.claim ws.expanded it.ipid
-        else it.ifresh
+        if ws.claims then Aflags.claim ws.expanded it.ipid else it.ifresh
       in
       let succs = S.successors it.ist in
       let d' = it.idepth + 1 in
@@ -943,7 +1076,8 @@ module Engine (S : System.S) = struct
                 Pvec.set ws.goal_v j true;
                 atomic_min ws.goal_cut d'
               end;
-              enqueue { ipid = j; ist = s'; idepth = d'; ifresh = true };
+              enqueue
+                { ipid = j; ist = s'; idepth = d'; ifresh = true; iattempt = 0 };
               j
           | St.Known j -> j
           | St.Relaxed (j, old) ->
@@ -955,7 +1089,14 @@ module Engine (S : System.S) = struct
               set_parent j it.ipid l d';
               if ws.stop_on_goal && Pvec.get ws.goal_v j then
                 atomic_min ws.goal_cut d';
-              enqueue { ipid = j; ist = s'; idepth = d'; ifresh = false };
+              enqueue
+                {
+                  ipid = j;
+                  ist = s';
+                  idepth = d';
+                  ifresh = false;
+                  iattempt = 0;
+                };
               j
         in
         (l, j)
@@ -975,14 +1116,46 @@ module Engine (S : System.S) = struct
       in
       if first then edges_acc := !edges_acc + n
     in
+    (* A raising successor (or hash/equal) must not take the whole run
+       down: the first failure re-enqueues the item on the next domain
+       after an exponential backoff — transient failures (e.g. a
+       resource blip in an effectful successor) clear on retry — and a
+       second failure records the state as unrecoverable.  Either way
+       the chunk finishes and the pending-token protocol stays
+       balanced, so termination detection still works. *)
+    let quarantine it e =
+      if it.iattempt = 0 then begin
+        Atomic.incr ws.retries;
+        Unix.sleepf (0.001 *. (2. ** float_of_int (it.iattempt + 1)));
+        Atomic.incr ws.pending;
+        Deque.push
+          ws.deques.((k + 1) mod ws.domains)
+          [| { it with iattempt = 1 } |];
+        if Atomic.get ws.waiters > 0 then begin
+          Mutex.lock ws.idle_m;
+          Condition.signal ws.idle_c;
+          Mutex.unlock ws.idle_m
+        end
+      end
+      else begin
+        Mutex.lock ws.crash_m;
+        ws.crashes <- (it, Printexc.to_string e) :: ws.crashes;
+        Mutex.unlock ws.crash_m
+      end
+    in
     let process it =
-      let gcut =
-        if ws.stop_on_goal then Atomic.get ws.goal_cut else max_int
-      in
-      if it.idepth < gcut && it.idepth <= cutoff () then expand it
-      else skipped := it :: !skipped
+      if ws_suspended ws then skipped := it :: !skipped
+      else begin
+        let gcut =
+          if ws.stop_on_goal then Atomic.get ws.goal_cut else max_int
+        in
+        if it.idepth < gcut && it.idepth <= cutoff () then (
+          try expand it with e -> quarantine it e)
+        else skipped := it :: !skipped
+      end
     in
     let run_chunk c =
+      budget_tick ws;
       Array.iter process c;
       (* release the chunk's token only once every item has run; the
          worker that drops the count to zero announces termination (the
@@ -1076,10 +1249,19 @@ module Engine (S : System.S) = struct
       Mutex.unlock ws.idle_m;
       raise e
 
-  let ws_explore ?expected_states ~max_states ~domains ~shards ~store_mode
-      ~keep_adj ~keep_states ~keep_parent ~goal ~stop_on_goal () =
+  let ws_explore ?expected_states ?budget ?(degrade_ok = false) ?resume
+      ~max_states ~domains ~shards ~store_mode ~keep_adj ~keep_states
+      ~keep_parent ~goal ~stop_on_goal () =
     if domains < 1 then invalid_arg "Mc.Pexplore: domains must be >= 1";
     if max_states < 0 then invalid_arg "Mc.Pexplore: negative max_states";
+    (match resume with
+    | Some c when c.Explore.c_max_states <> max_states ->
+        invalid_arg
+          (Printf.sprintf
+             "Mc.Pexplore: checkpoint was taken with max_states=%d, resumed \
+              with %d"
+             c.Explore.c_max_states max_states)
+    | _ -> ());
     let tbl = make_table ?expected_states ~shards store_mode in
     let ws =
       {
@@ -1113,20 +1295,112 @@ module Engine (S : System.S) = struct
         goal;
         stop_on_goal;
         domains;
+        budget;
+        degrade_ok;
+        degrade_m = Mutex.create ();
+        degraded = [];
+        retries = Atomic.make 0;
+        crash_m = Mutex.create ();
+        crashes = [];
+        (* suspension and resume both need exact first-expansion
+           tracking, so any budget or cursor forces the bitset on *)
+        claims =
+          max_states < max_int || stop_on_goal || budget <> None
+          || resume <> None;
+        resumed = resume <> None;
       }
     in
-    let pid0, _ = intern_pid tbl S.initial ~depth:0 in
-    dh_incr ws.dhists.(0) 0;
-    (match ws.states_v with
-    | Some sv -> Pvec.set sv pid0 S.initial
-    | None -> ());
-    if stop_on_goal && goal S.initial then begin
-      Pvec.set ws.goal_v pid0 true;
-      atomic_min ws.goal_cut 0
-    end;
-    Atomic.incr ws.pending;
-    Deque.push ws.deques.(0)
-      [| { ipid = pid0; ist = S.initial; idepth = 0; ifresh = true } |];
+    (match resume with
+    | None ->
+        let pid0, _ = intern_pid tbl S.initial ~depth:0 in
+        dh_incr ws.dhists.(0) 0;
+        (match ws.states_v with
+        | Some sv -> Pvec.set sv pid0 S.initial
+        | None -> ());
+        if stop_on_goal && goal S.initial then begin
+          Pvec.set ws.goal_v pid0 true;
+          atomic_min ws.goal_cut 0
+        end;
+        Atomic.incr ws.pending;
+        Deque.push ws.deques.(0)
+          [|
+            {
+              ipid = pid0;
+              ist = S.initial;
+              idepth = 0;
+              ifresh = true;
+              iattempt = 0;
+            };
+          |]
+    | Some c ->
+        (* Rebuild the table in pid order so provisional ids match the
+           cursor's, then restore adjacency, mark everything off the
+           frontier as already expanded, and scatter the frontier
+           round-robin over the deques. *)
+        let cs = c.Explore.c_states and cd = c.Explore.c_depths in
+        let n = Array.length cs in
+        for i = 0 to n - 1 do
+          (match St.intern tbl cs.(i) ~depth:cd.(i) with
+          | St.Fresh pid when pid = i -> ()
+          | St.Fresh _ | St.Known _ | St.Relaxed _ ->
+              invalid_arg
+                "Mc.Pexplore: resume store does not reproduce checkpoint \
+                 state ids (was the store mode changed between runs?)");
+          dh_incr ws.dhists.(0) cd.(i);
+          (match ws.states_v with
+          | Some sv -> Pvec.set sv i cs.(i)
+          | None -> ());
+          if stop_on_goal && goal cs.(i) then begin
+            Pvec.set ws.goal_v i true;
+            atomic_min ws.goal_cut cd.(i)
+          end
+        done;
+        (match ws.adj_v with
+        | Some av ->
+            let by_src = Hashtbl.create 1024 in
+            (* [c_trans] is newest-first, so consing while walking it
+               leaves each per-source list in original emission order *)
+            List.iter
+              (fun (src, l, dst) ->
+                let prev =
+                  match Hashtbl.find_opt by_src src with
+                  | Some cells -> cells
+                  | None -> []
+                in
+                Hashtbl.replace by_src src ((l, dst) :: prev))
+              c.Explore.c_trans;
+            Hashtbl.iter
+              (fun src cells -> Pvec.set av src (Array.of_list cells))
+              by_src
+        | None -> ());
+        let infront = Array.make (max 1 n) false in
+        Array.iter (fun i -> infront.(i) <- true) c.Explore.c_queue;
+        for pid = 0 to n - 1 do
+          if not infront.(pid) then
+            ignore (Aflags.claim ws.expanded pid : bool)
+        done;
+        let nq = Array.length c.Explore.c_queue in
+        let di = ref 0 in
+        let i = ref 0 in
+        while !i < nq do
+          let len = min chunk_cap (nq - !i) in
+          let base = !i in
+          let chunk =
+            Array.init len (fun j ->
+                let pid = c.Explore.c_queue.(base + j) in
+                {
+                  ipid = pid;
+                  ist = cs.(pid);
+                  idepth = cd.(pid);
+                  ifresh = false;
+                  iattempt = 0;
+                })
+          in
+          Atomic.incr ws.pending;
+          Deque.push ws.deques.(!di mod domains) chunk;
+          incr di;
+          i := !i + len
+        done);
     let crew = Crew.create domains in
     Fun.protect
       ~finally:(fun () -> Crew.shutdown crew)
@@ -1188,8 +1462,85 @@ module Engine (S : System.S) = struct
     in
     Array.init (md + 1) (fun d -> depth_count ws d)
 
-  let ws_space ?expected_states ~max_states ~domains ~shards ~store_mode
-      ~progress ~do_replay () =
+  (* --- suspension ------------------------------------------------------ *)
+
+  (* The first unrecoverable crash, as a budget reason naming the state
+     whose expansion raised twice. *)
+  let ws_crash ws =
+    match List.rev ws.crashes with
+    | [] -> None
+    | (it, msg) :: _ ->
+        Some
+          (Budget.Crashed
+             (Format.asprintf "%s at state %a" msg S.pp_state it.ist))
+
+  (* Why the run fell short of a full verdict, if it did: an
+     unrecoverable crash outranks the budget trip it may have caused. *)
+  let ws_exhausted ws =
+    match ws_crash ws with
+    | Some _ as r -> r
+    | None -> (
+        match ws.budget with None -> None | Some b -> Budget.tripped b)
+
+  let ws_exhaustion ws reason =
+    {
+      Explore.reason;
+      states_so_far = St.total ws.tbl;
+      coverage = St.coverage ws.tbl;
+    }
+
+  (* Capture a suspended run as a sequential-style cursor: every interned
+     state with its depth stamp, all recorded adjacency, and the
+     never-expanded states (drained frontier, cutoff skips, crashed
+     items) as the queue, in pid order.  Requires [keep_states] and
+     [keep_adj]. *)
+  let ws_cursor ws ~max_states =
+    let total = St.total ws.tbl in
+    let state_of = ws_states ws in
+    let states = Array.init total state_of in
+    let stamps = St.depths ws.tbl in
+    let depths =
+      Array.init total (fun i ->
+          if i < Array.length stamps then stamps.(i) else 0)
+    in
+    let adj = ws_adj ws in
+    let trans = ref [] in
+    for pid = 0 to total - 1 do
+      Array.iter
+        (fun (l, dst) -> if dst >= 0 then trans := (pid, l, dst) :: !trans)
+        (adj pid)
+    done;
+    let infront = Array.make (max 1 total) false in
+    let frontier = ref [] in
+    let add pid =
+      if pid >= 0 && pid < total && not infront.(pid) then begin
+        infront.(pid) <- true;
+        frontier := pid :: !frontier
+      end
+    in
+    Array.iter
+      (fun lst ->
+        List.iter
+          (fun it ->
+            if not (Aflags.mem ws.expanded it.ipid) then add it.ipid)
+          !lst)
+      ws.skipped;
+    (* a crashed item claimed its expansion flag before raising, so it
+       must be re-queued explicitly *)
+    List.iter (fun (it, _) -> add it.ipid) ws.crashes;
+    let queue = Array.of_list !frontier in
+    Array.sort compare queue;
+    {
+      Explore.c_max_states = max_states;
+      c_states = states;
+      c_depths = depths;
+      c_trans = !trans;
+      c_queue = queue;
+      c_complete = true;
+    }
+
+  let ws_space_run ?expected_states ?budget ?(degrade_ok = false) ?resume
+      ~max_states ~domains ~shards ~store_mode ~progress ~do_replay () =
     (match store_mode with
     | Store.Bitstate _ ->
         invalid_arg
@@ -1198,8 +1549,9 @@ module Engine (S : System.S) = struct
     | _ -> ());
     let t0 = Unix.gettimeofday () in
     let ws =
-      ws_explore ?expected_states ~max_states ~domains ~shards ~store_mode
-        ~keep_adj:true ~keep_states:true ~keep_parent:false
+      ws_explore ?expected_states ?budget ~degrade_ok ?resume ~max_states
+        ~domains ~shards ~store_mode ~keep_adj:true ~keep_states:true
+        ~keep_parent:false
         ~goal:(fun _ -> false)
         ~stop_on_goal:false ()
     in
@@ -1209,21 +1561,45 @@ module Engine (S : System.S) = struct
       let lts = Lts.Graph.make ~num_states:count ~initial:0 trans in
       let wall = Unix.gettimeofday () -. t0 in
       let stats =
-        stats_of ~engine:"workstealing" ~count
+        stats_of ~degraded:ws.degraded
+          ~retries:(Atomic.get ws.retries)
+          ~engine:"workstealing" ~count
           ~transitions:(Lts.Graph.num_transitions lts)
           ~wall ~peak ~histogram ~tbl:ws.tbl ~domains
           ~steals:(Atomic.get ws.w_steals)
           ~relaxations:(Atomic.get ws.w_relax)
+          ()
       in
-      ({ Explore.lts; states; complete }, stats)
+      (Explore.Done { Explore.lts; states; complete }, stats)
     in
+    match ws_exhausted ws with
+    | Some reason ->
+        let wall = Unix.gettimeofday () -. t0 in
+        let histogram = ws_histogram ws in
+        let stats =
+          stats_of ~exhausted:(Some reason) ~degraded:ws.degraded
+            ~retries:(Atomic.get ws.retries)
+            ~engine:"workstealing" ~count:total
+            ~transitions:(Atomic.get ws.edges)
+            ~wall
+            ~peak:(Array.fold_left max 0 histogram)
+            ~histogram ~tbl:ws.tbl ~domains
+            ~steals:(Atomic.get ws.w_steals)
+            ~relaxations:(Atomic.get ws.w_relax)
+            ()
+        in
+        (Explore.Suspended (reason, ws_cursor ws ~max_states), stats)
+    | None ->
     (* With no steals, every chunk ran on the owning domain in FIFO
        order, and with no relaxations every state was first reached at
        its minimal depth — so the provisional numbering already equals
        sequential BFS discovery order and the replay would be an
-       identity renumbering. *)
+       identity renumbering.  A resumed run inherits the cursor's
+       numbering instead, so it must replay. *)
     let canonical_already =
-      Atomic.get ws.w_steals = 0 && Atomic.get ws.w_relax = 0
+      Atomic.get ws.w_steals = 0
+      && Atomic.get ws.w_relax = 0
+      && not ws.resumed
     in
     if
       ((not do_replay) || canonical_already)
@@ -1267,46 +1643,68 @@ module Engine (S : System.S) = struct
         ~histogram:r.r_levels
     end
 
-  let ws_count ?expected_states ~max_states ~domains ~shards ~store_mode () =
+  let ws_space ?expected_states ~max_states ~domains ~shards ~store_mode
+      ~progress ~do_replay () =
+    match
+      ws_space_run ?expected_states ~max_states ~domains ~shards ~store_mode
+        ~progress ~do_replay ()
+    with
+    | Explore.Done sp, stats -> (sp, stats)
+    | Explore.Suspended _, _ -> assert false (* no budget, cannot suspend *)
+
+  let ws_count ?expected_states ?budget ?(degrade_ok = false) ~max_states
+      ~domains ~shards ~store_mode () =
     let ws =
-      ws_explore ?expected_states ~max_states ~domains ~shards ~store_mode
-        ~keep_adj:false ~keep_states:false ~keep_parent:false
+      ws_explore ?expected_states ?budget ~degrade_ok ~max_states ~domains
+        ~shards ~store_mode ~keep_adj:false ~keep_states:false
+        ~keep_parent:false
         ~goal:(fun _ -> false)
         ~stop_on_goal:false ()
     in
     let total = St.total ws.tbl in
     let n = max 1 (min total max_states) in
-    ((n, total <= max 1 max_states && not (ws_dropped ws)), ws)
+    let complete =
+      (match ws_exhausted ws with None -> true | Some _ -> false)
+      && total <= max 1 max_states
+      && not (ws_dropped ws)
+    in
+    ((n, complete), ws)
 
-  let ws_count_stats ?expected_states ~max_states ~domains ~shards ~store_mode
-      () =
+  let ws_count_stats ?expected_states ?budget ?degrade_ok ~max_states ~domains
+      ~shards ~store_mode () =
     let t0 = Unix.gettimeofday () in
     let r, ws =
-      ws_count ?expected_states ~max_states ~domains ~shards ~store_mode ()
+      ws_count ?expected_states ?budget ?degrade_ok ~max_states ~domains
+        ~shards ~store_mode ()
     in
     let wall = Unix.gettimeofday () -. t0 in
     let histogram = ws_histogram ws in
     let stats =
-      stats_of ~engine:"workstealing" ~count:(fst r)
+      stats_of
+        ~exhausted:(ws_exhausted ws)
+        ~degraded:ws.degraded
+        ~retries:(Atomic.get ws.retries)
+        ~engine:"workstealing" ~count:(fst r)
         ~transitions:(Atomic.get ws.edges)
         ~wall
         ~peak:(Array.fold_left max 0 histogram)
         ~histogram ~tbl:ws.tbl ~domains
         ~steals:(Atomic.get ws.w_steals)
         ~relaxations:(Atomic.get ws.w_relax)
+        ()
     in
     (r, stats)
 
-  let ws_find ?expected_states ~max_states ~domains ~shards ~store_mode ~goal
-      () =
+  let ws_find ?expected_states ?budget ?(degrade_ok = false) ~max_states
+      ~domains ~shards ~store_mode ~goal () =
     if goal S.initial then
       Explore.Reached { Explore.trace = []; state = S.initial }
     else begin
       let tracks = match store_mode with Store.Bitstate _ -> false | _ -> true in
       let ws =
-        ws_explore ?expected_states ~max_states ~domains ~shards ~store_mode
-          ~keep_adj:tracks ~keep_states:true ~keep_parent:true ~goal
-          ~stop_on_goal:true ()
+        ws_explore ?expected_states ?budget ~degrade_ok ~max_states ~domains
+          ~shards ~store_mode ~keep_adj:tracks ~keep_states:true
+          ~keep_parent:true ~goal ~stop_on_goal:true ()
       in
       let total = St.total ws.tbl in
       let emax = max 1 max_states in
@@ -1326,6 +1724,16 @@ module Engine (S : System.S) = struct
         done;
         !best
       in
+      match ws_exhausted ws with
+      | Some reason ->
+          (* Cut short — but a goal flagged before the trip is still a
+             real witness, and always outranks the exhaustion. *)
+          let w = best_goal 0 total in
+          if w >= 0 then
+            Explore.Reached
+              { Explore.trace = ws_trace ws w; state = state_of w }
+          else Explore.Exhausted (ws_exhaustion ws reason)
+      | None ->
       if not tracks then begin
         (* Bitstate: no replay possible; verdicts are probabilistic. *)
         let w = best_goal 0 total in
@@ -1390,39 +1798,52 @@ let space ?max_states ?expected_states ?domains ?shards ?progress ?store
     (space_stats ?max_states ?expected_states ?domains ?shards ?progress
        ?store ?workstealing ?replay sys)
 
+let space_run (type s l) ?(max_states = Explore.default_max) ?expected_states
+    ?domains ?(shards = default_shards) ?(progress = no_progress)
+    ?(store = Store.Exact) ?budget ?(degrade = true) ?resume
+    (sys : (s, l) System.t) : (s, l) Explore.run_result * stats =
+  let domains = match domains with Some d -> d | None -> default_domains () in
+  let module E = Engine ((val sys)) in
+  E.ws_space_run ?expected_states ?budget ~degrade_ok:degrade ?resume
+    ~max_states ~domains ~shards ~store_mode:store ~progress ~do_replay:true
+    ()
+
 let count (type s l) ?(max_states = Explore.default_max) ?expected_states
     ?domains ?(shards = default_shards) ?(store = Store.Exact)
-    ?(workstealing = true) (sys : (s, l) System.t) : int * bool =
+    ?(workstealing = true) ?budget ?(degrade = true) (sys : (s, l) System.t) :
+    int * bool =
   let domains = match domains with Some d -> d | None -> default_domains () in
   let module E = Engine ((val sys)) in
   if workstealing then
     fst
-      (E.ws_count ?expected_states ~max_states ~domains ~shards
-         ~store_mode:store ())
+      (E.ws_count ?expected_states ?budget ~degrade_ok:degrade ~max_states
+         ~domains ~shards ~store_mode:store ())
   else begin
     reject_levels_bitstate store;
-    E.count ?expected_states ~max_states ~domains ~shards ~store_mode:store ()
+    E.count ?expected_states ?budget ~max_states ~domains ~shards
+      ~store_mode:store ()
   end
 
 let count_stats (type s l) ?(max_states = Explore.default_max)
     ?expected_states ?domains ?(shards = default_shards)
-    ?(store = Store.Exact) (sys : (s, l) System.t) : (int * bool) * stats =
+    ?(store = Store.Exact) ?budget ?(degrade = true) (sys : (s, l) System.t) :
+    (int * bool) * stats =
   let domains = match domains with Some d -> d | None -> default_domains () in
   let module E = Engine ((val sys)) in
-  E.ws_count_stats ?expected_states ~max_states ~domains ~shards
-    ~store_mode:store ()
+  E.ws_count_stats ?expected_states ?budget ~degrade_ok:degrade ~max_states
+    ~domains ~shards ~store_mode:store ()
 
 let find (type s l) ?(max_states = Explore.default_max) ?expected_states
     ?domains ?(shards = default_shards) ?(store = Store.Exact)
-    ?(workstealing = true) ~goal (sys : (s, l) System.t) :
-    (s, l) Explore.verdict =
+    ?(workstealing = true) ?budget ?(degrade = true) ~goal
+    (sys : (s, l) System.t) : (s, l) Explore.verdict =
   let domains = match domains with Some d -> d | None -> default_domains () in
   let module E = Engine ((val sys)) in
   if workstealing then
-    E.ws_find ?expected_states ~max_states ~domains ~shards ~store_mode:store
-      ~goal ()
+    E.ws_find ?expected_states ?budget ~degrade_ok:degrade ~max_states
+      ~domains ~shards ~store_mode:store ~goal ()
   else begin
     reject_levels_bitstate store;
-    E.find ?expected_states ~max_states ~domains ~shards ~store_mode:store
-      ~goal ()
+    E.find ?expected_states ?budget ~max_states ~domains ~shards
+      ~store_mode:store ~goal ()
   end

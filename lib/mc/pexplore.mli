@@ -68,6 +68,11 @@ type stats = {
   relaxations : int;
       (** depth-stamp improvements that re-enqueued a known state *)
   coverage : Store.coverage;  (** store mode and omission estimate *)
+  exhausted : Budget.reason option;
+      (** why the run fell short of a full verdict, if it did *)
+  degraded : string list;
+      (** store modes entered by in-place degradation, in order *)
+  retries : int;  (** poisoned items quarantined and retried *)
 }
 
 val pp_stats : Format.formatter -> stats -> unit
@@ -112,6 +117,38 @@ val space_stats :
   ('s, 'l) Explore.space * stats
 (** Like {!space}, additionally returning exploration statistics. *)
 
+val space_run :
+  ?max_states:int ->
+  ?expected_states:int ->
+  ?domains:int ->
+  ?shards:int ->
+  ?progress:(depth:int -> states:int -> frontier:int -> unit) ->
+  ?store:Store.mode ->
+  ?budget:Budget.t ->
+  ?degrade:bool ->
+  ?resume:('s, 'l) Explore.cursor ->
+  ('s, 'l) System.t ->
+  ('s, 'l) Explore.run_result * stats
+(** The resilient form of {!space_stats} (work-stealing engine only).
+    A {!Budget} trip — or an unrecoverable successor crash — suspends
+    the run into an {!Explore.cursor} holding every interned state, the
+    recorded adjacency and the unexpanded frontier; [resume] continues
+    from such a cursor.  A resumed run always replays, so its [Done]
+    space carries canonical numbering, making par->par round trips
+    verdict- and graph-identical to an uninterrupted run ({e set}-wise;
+    cursors taken by the {e sequential} engine resumed here, or vice
+    versa, preserve verdicts but not byte-identity — only seq->seq round
+    trips are byte-identical, see {!Explore.space_run}).
+
+    With [degrade = true] (default) a {!Budget.Memory} trip first walks
+    the store down the compression ladder in place
+    ([Exact -> Hash_compaction -> Bitstate]) and re-arms the budget; the
+    run only suspends once the ladder is exhausted.  Rungs taken are
+    reported in [stats.degraded].  Note a store degraded to bitstate no
+    longer tracks state identities, so the space degenerates (missing
+    destinations are dropped and [complete] is [false]) — prefer
+    {!count} or {!find} when heavy degradation is expected. *)
+
 val count :
   ?max_states:int ->
   ?expected_states:int ->
@@ -119,12 +156,17 @@ val count :
   ?shards:int ->
   ?store:Store.mode ->
   ?workstealing:bool ->
+  ?budget:Budget.t ->
+  ?degrade:bool ->
   ('s, 'l) System.t ->
   int * bool
 (** Parallel {!Explore.count}: reachable-state count plus completeness
     flag, without retaining the graph.  Compressed stores under-count on
     collision; bitstate is supported (work-stealing engine only) and is
-    the intended high-volume counting mode. *)
+    the intended high-volume counting mode.  A [budget] trip reports the
+    count so far with [complete = false]; [degrade] (default [true])
+    lets memory trips walk the store down the compression ladder instead
+    of stopping (work-stealing engine only). *)
 
 val count_stats :
   ?max_states:int ->
@@ -132,6 +174,8 @@ val count_stats :
   ?domains:int ->
   ?shards:int ->
   ?store:Store.mode ->
+  ?budget:Budget.t ->
+  ?degrade:bool ->
   ('s, 'l) System.t ->
   (int * bool) * stats
 (** {!count} on the work-stealing engine, additionally returning
@@ -139,7 +183,9 @@ val count_stats :
     estimate — the way to surface bitstate omission probabilities).
     [stats.transitions] counts successor edges of first-time expansions,
     and the depth histogram uses stamped depths, which both coincide
-    with the canonical values on unbounded runs. *)
+    with the canonical values on unbounded runs.  [stats.exhausted],
+    [stats.degraded] and [stats.retries] report budget trips, in-place
+    store degradations and quarantine retries of this run. *)
 
 val find :
   ?max_states:int ->
@@ -148,6 +194,8 @@ val find :
   ?shards:int ->
   ?store:Store.mode ->
   ?workstealing:bool ->
+  ?budget:Budget.t ->
+  ?degrade:bool ->
   goal:('s -> bool) ->
   ('s, 'l) System.t ->
   ('s, 'l) Explore.verdict
@@ -158,4 +206,12 @@ val find :
     sequential engine's.  Under a {!Store.Bitstate} store an
     [Unreachable] verdict is probabilistic — colliding states are never
     expanded, so a violation can be missed (never invented); see
-    {!Store.coverage} for the omission estimate. *)
+    {!Store.coverage} for the omission estimate.
+
+    A [budget] trip yields {!Explore.Exhausted} — unless a goal state
+    was flagged before the trip, which always wins as [Reached].  A
+    successor function that raises does {e not} take the run down: the
+    poisoned item is quarantined and retried once on another domain
+    after a backoff, and only a second failure converts the run into
+    [Exhausted (Crashed _)] naming the offending state (after the rest
+    of the space was explored). *)

@@ -2,6 +2,7 @@ type 'l verdict =
   | Holds
   | Violated of 'l list
   | Unknown of int
+  | Exhausted of Explore.exhaustion
 
 (* Product of a system and a monitor: the monitor state rides along in the
    configuration, and a goal search for an accepting monitor state yields a
@@ -28,12 +29,12 @@ let product (type s l) (sys : (s, l) System.t) (m : l Monitor.t) :
    non-exact store or an explicit engine selection forces Pexplore even
    on one domain (the sequential engine has no store support). *)
 let run_find ?max_states ?expected_states ?(domains = 1)
-    ?(store = Store.Exact) ?workstealing ~goal sys =
+    ?(store = Store.Exact) ?workstealing ?budget ?degrade ~goal sys =
   if domains <= 1 && store = Store.Exact && workstealing = None then
-    Explore.find ?max_states ?expected_states ~goal sys
+    Explore.find ?max_states ?expected_states ?budget ~goal sys
   else
     Pexplore.find ?max_states ?expected_states ~domains ~store ?workstealing
-      ~goal sys
+      ?budget ?degrade ~goal sys
 
 (* A reduced replacement system built with the sequential proviso forces
    the sequential engine: its seen-set needs a deterministic call order.
@@ -44,38 +45,40 @@ let apply_reduction reduction ~parallel_reduction domains sys =
   | None -> (sys, domains)
   | Some reduced -> (reduced, if parallel_reduction then domains else Some 1)
 
+let of_find_verdict = function
+  | Explore.Unreachable -> Holds
+  | Explore.Reached w -> Violated w.Explore.trace
+  | Explore.Bound_hit n -> Unknown n
+  | Explore.Exhausted e -> Exhausted e
+
 let check_monitor (type s l) ?max_states ?expected_states ?domains ?reduction
-    ?(parallel_reduction = false) ?store ?workstealing (sys : (s, l) System.t)
-    (m : l Monitor.t) : l verdict =
+    ?(parallel_reduction = false) ?store ?workstealing ?budget ?degrade
+    (sys : (s, l) System.t) (m : l Monitor.t) : l verdict =
   let sys, domains = apply_reduction reduction ~parallel_reduction domains sys in
   let prod = product sys m in
-  match
-    run_find ?max_states ?expected_states ?domains ?store ?workstealing
-      ~goal:(fun (_, q) -> m.Monitor.accepting q)
-      prod
-  with
-  | Explore.Unreachable -> Holds
-  | Explore.Reached w -> Violated w.Explore.trace
-  | Explore.Bound_hit n -> Unknown n
+  of_find_verdict
+    (run_find ?max_states ?expected_states ?domains ?store ?workstealing
+       ?budget ?degrade
+       ~goal:(fun (_, q) -> m.Monitor.accepting q)
+       prod)
 
 let check_forbidden ?max_states ?expected_states ?domains ?reduction
-    ?parallel_reduction ?store ?workstealing sys r =
+    ?parallel_reduction ?store ?workstealing ?budget ?degrade sys r =
   check_monitor ?max_states ?expected_states ?domains ?reduction
-    ?parallel_reduction ?store ?workstealing sys (Regex.compile r)
+    ?parallel_reduction ?store ?workstealing ?budget ?degrade sys
+    (Regex.compile r)
 
 let check_state (type s l) ?max_states ?expected_states ?domains ?reduction
-    ?(parallel_reduction = false) ?store ?workstealing (sys : (s, l) System.t)
-    bad : l verdict =
+    ?(parallel_reduction = false) ?store ?workstealing ?budget ?degrade
+    (sys : (s, l) System.t) bad : l verdict =
   let sys, domains = apply_reduction reduction ~parallel_reduction domains sys in
-  match
-    run_find ?max_states ?expected_states ?domains ?store ?workstealing
-      ~goal:bad sys
-  with
-  | Explore.Unreachable -> Holds
-  | Explore.Reached w -> Violated w.Explore.trace
-  | Explore.Bound_hit n -> Unknown n
+  of_find_verdict
+    (run_find ?max_states ?expected_states ?domains ?store ?workstealing
+       ?budget ?degrade ~goal:bad sys)
 
-let holds = function Holds -> true | Violated _ | Unknown _ -> false
+let holds = function
+  | Holds -> true
+  | Violated _ | Unknown _ | Exhausted _ -> false
 
 let pp_verdict ~pp_label ppf = function
   | Holds -> Format.pp_print_string ppf "holds"
@@ -84,3 +87,4 @@ let pp_verdict ~pp_label ppf = function
         (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_label)
         trace
   | Unknown n -> Format.fprintf ppf "unknown (state bound %d hit)" n
+  | Exhausted e -> Explore.pp_exhaustion ppf e

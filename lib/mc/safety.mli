@@ -10,6 +10,12 @@ type 'l verdict =
   | Holds  (** exhaustive exploration found no violation *)
   | Violated of 'l list  (** shortest counterexample, as a label trace *)
   | Unknown of int  (** state bound hit before a verdict was reached *)
+  | Exhausted of Explore.exhaustion
+      (** the resource budget tripped (or a successor function crashed
+          in the parallel engine) before a verdict was reached: no
+          violation among the [states_so_far] states actually visited,
+          with the store's coverage estimate qualifying how much of the
+          space that is *)
 
 val check_monitor :
   ?max_states:int ->
@@ -19,6 +25,8 @@ val check_monitor :
   ?parallel_reduction:bool ->
   ?store:Store.mode ->
   ?workstealing:bool ->
+  ?budget:Budget.t ->
+  ?degrade:bool ->
   ('s, 'l) System.t ->
   'l Monitor.t ->
   'l verdict
@@ -41,6 +49,15 @@ val check_monitor :
     {!Pexplore.count_stats}).  A [Violated] verdict is always real: its
     trace replays on the uncompressed system.  [workstealing] picks the
     {!Pexplore} engine variant explicitly (default: work-stealing).
+
+    [budget] bounds the search by wall clock and/or live heap; a trip
+    yields the qualified {!Exhausted} verdict instead of running to
+    completion.  With [degrade = true] (the default when a budget with
+    a memory limit is given to the parallel engine) a memory trip first
+    walks the store down the compression ladder
+    ([Exact -> Hash_compaction -> Bitstate]) and only exhausts once at
+    the bottom — the run then completes with a probabilistic verdict
+    instead of dying.
 
     [reduction], when given, is explored {e in place of} [sys].  The
     caller guarantees it is a sound reduction of [sys] for this
@@ -65,6 +82,8 @@ val check_forbidden :
   ?parallel_reduction:bool ->
   ?store:Store.mode ->
   ?workstealing:bool ->
+  ?budget:Budget.t ->
+  ?degrade:bool ->
   ('s, 'l) System.t ->
   'l Regex.t ->
   'l verdict
@@ -79,6 +98,8 @@ val check_state :
   ?parallel_reduction:bool ->
   ?store:Store.mode ->
   ?workstealing:bool ->
+  ?budget:Budget.t ->
+  ?degrade:bool ->
   ('s, 'l) System.t ->
   ('s -> bool) ->
   'l verdict

@@ -5,7 +5,14 @@
    that colliding states are serialised through the same lock), and all
    per-state mutation happens under that stripe's mutex.  The
    provisional-id counter is a plain [Atomic.t] fetched while holding
-   the stripe lock, which makes ids dense and insertion atomic. *)
+   the stripe lock, which makes ids dense and insertion atomic.
+
+   The representation is additionally *mutable*: when a memory budget
+   trips, [degrade] swaps the whole table one rung down the compression
+   ladder (Exact -> Hash_compaction -> Bitstate) while holding every
+   stripe lock.  Readers therefore re-check the representation after
+   acquiring their stripe lock and retry against the new one if a swap
+   raced them. *)
 
 type mode =
   | Exact
@@ -179,8 +186,8 @@ struct
     | Rbit of { log2_bits : int; hashes : int; words : int Atomic.t array }
 
   type t = {
-    mode : mode;
-    repr : repr;
+    mutable mode : mode;
+    mutable repr : repr; (* swapped under ALL stripe locks by [degrade] *)
     locks : Mutex.t array;
     mask : int;
     next : int Atomic.t;
@@ -223,6 +230,7 @@ struct
     }
 
   let total t = Atomic.get t.next
+  let current_mode t = t.mode
   let tracks_pids t = match t.repr with Rbit _ -> false | _ -> true
   let occupancy t = Array.copy t.filled
   let coverage t = coverage_of ~mode:t.mode ~stored:(Atomic.get t.next)
@@ -231,27 +239,34 @@ struct
     t.filled.(shard) <- t.filled.(shard) + 1;
     Atomic.fetch_and_add t.next 1
 
-  (* Exact and fingerprint shards share the same intern shape: find the
-     entry under the stripe lock, insert with a fresh dense id when
-     absent, relax the depth stamp when the new path is shorter. *)
-  let intern_entry find add t shard ~depth =
+  (* Run [f] under the stripe lock — via [Fun.protect], so a raising
+     user [hash]/[equal] can never leave the mutex held — but only if
+     the representation was not swapped by [degrade] between computing
+     the shard and acquiring the lock.  [None] means "stale repr, pick
+     the shard again". *)
+  let with_stripe t shard repr f =
     let lock = t.locks.(shard) in
     Mutex.lock lock;
-    let r =
-      match find () with
-      | Some e ->
-          if depth < e.depth then (
-            let old = e.depth in
-            e.depth <- depth;
-            Relaxed (e.pid, old))
-          else Known e.pid
-      | None ->
-          let pid = fresh_id t shard in
-          add { pid; depth };
-          Fresh pid
-    in
-    Mutex.unlock lock;
-    r
+    if t.repr != repr then (
+      Mutex.unlock lock;
+      None)
+    else Some (Fun.protect ~finally:(fun () -> Mutex.unlock lock) f)
+
+  (* Exact and fingerprint shards share the same intern shape: find the
+     entry (already under the stripe lock), insert with a fresh dense id
+     when absent, relax the depth stamp when the new path is shorter. *)
+  let intern_slot find add t shard ~depth =
+    match find () with
+    | Some e ->
+        if depth < e.depth then (
+          let old = e.depth in
+          e.depth <- depth;
+          Relaxed (e.pid, old))
+        else Known e.pid
+    | None ->
+        let pid = fresh_id t shard in
+        add { pid; depth };
+        Fresh pid
 
   (* k probe positions in the bit array via double hashing over the
      64-bit fingerprint.  Returns true iff the bit was already set. *)
@@ -266,69 +281,148 @@ struct
     in
     go ()
 
-  let intern t s ~depth =
-    match t.repr with
-    | Rexact shards ->
-        let shard = K.hash s land max_int land t.mask in
-        let tbl = shards.(shard) in
-        intern_entry
-          (fun () -> T.find_opt tbl s)
-          (fun e -> T.add tbl s e)
-          t shard ~depth
-    | Rfp { bits; shards } ->
-        (* [(1 lsl 62) - 1 = max_int] on 64-bit OCaml, so the full-width
-           default masks to all usable bits *)
-        let f = t.fp s land ((1 lsl bits) - 1) in
-        (* shard by fingerprint so equal fingerprints serialise through
-           the same stripe and are deterministically conflated *)
-        let shard = f land t.mask in
-        let tbl = shards.(shard) in
-        intern_entry
-          (fun () -> Hashtbl.find_opt tbl f)
-          (fun e -> Hashtbl.add tbl f e)
-          t shard ~depth
-    | Rbit { log2_bits; hashes; words } ->
-        let f = t.fp s in
-        let shard = f land t.mask in
-        let lock = t.locks.(shard) in
-        let m1 = (1 lsl log2_bits) - 1 in
-        let h1 = f land m1 in
-        let h2 = (Int64.to_int (mix64 (Int64.of_int f)) land m1) lor 1 in
-        Mutex.lock lock;
-        let seen = ref true in
-        let pos = ref h1 in
-        for _ = 1 to hashes do
-          if not (bit_test_set words !pos) then seen := false;
-          pos := (!pos + h2) land m1
-        done;
-        let r =
-          if !seen then Known (-1) else Fresh (fresh_id t shard)
-        in
-        Mutex.unlock lock;
-        r
+  let bit_intern t ~log2_bits ~hashes ~words f shard =
+    let m1 = (1 lsl log2_bits) - 1 in
+    let h1 = f land m1 in
+    let h2 = (Int64.to_int (mix64 (Int64.of_int f)) land m1) lor 1 in
+    let seen = ref true in
+    let pos = ref h1 in
+    for _ = 1 to hashes do
+      if not (bit_test_set words !pos) then seen := false;
+      pos := (!pos + h2) land m1
+    done;
+    if !seen then Known (-1) else Fresh (fresh_id t shard)
 
-  let find_pid t s =
+  let rec intern t s ~depth =
+    let repr = t.repr in
+    let res =
+      match repr with
+      | Rexact shards ->
+          let shard = K.hash s land max_int land t.mask in
+          let tbl = shards.(shard) in
+          with_stripe t shard repr (fun () ->
+              intern_slot
+                (fun () -> T.find_opt tbl s)
+                (fun e -> T.add tbl s e)
+                t shard ~depth)
+      | Rfp { bits; shards } ->
+          (* [(1 lsl 62) - 1 = max_int] on 64-bit OCaml, so the
+             full-width default masks to all usable bits *)
+          let f = t.fp s land ((1 lsl bits) - 1) in
+          (* shard by fingerprint so equal fingerprints serialise through
+             the same stripe and are deterministically conflated *)
+          let shard = f land t.mask in
+          let tbl = shards.(shard) in
+          with_stripe t shard repr (fun () ->
+              intern_slot
+                (fun () -> Hashtbl.find_opt tbl f)
+                (fun e -> Hashtbl.add tbl f e)
+                t shard ~depth)
+      | Rbit { log2_bits; hashes; words } ->
+          let f = t.fp s in
+          let shard = f land t.mask in
+          with_stripe t shard repr (fun () ->
+              bit_intern t ~log2_bits ~hashes ~words f shard)
+    in
+    match res with None -> intern t s ~depth | Some r -> r
+
+  let rec find_pid t s =
+    let repr = t.repr in
+    let res =
+      match repr with
+      | Rexact shards ->
+          let shard = K.hash s land max_int land t.mask in
+          with_stripe t shard repr (fun () ->
+              match T.find_opt shards.(shard) s with
+              | Some e -> e.pid
+              | None -> -1)
+      | Rfp { bits; shards } ->
+          let f = t.fp s land ((1 lsl bits) - 1) in
+          let shard = f land t.mask in
+          with_stripe t shard repr (fun () ->
+              match Hashtbl.find_opt shards.(shard) f with
+              | Some e -> e.pid
+              | None -> -1)
+      | Rbit _ -> Some (-1)
+    in
+    match res with None -> find_pid t s | Some r -> r
+
+  let lock_all t = Array.iter Mutex.lock t.locks
+  let unlock_all t = Array.iter Mutex.unlock t.locks
+
+  (* One rung down the compression ladder, in place.  Holding every
+     stripe lock serialises us against all in-flight interns: each is
+     either already inside its stripe (we wait for it) or will notice
+     the swapped representation and retry.  Provisional ids are
+     preserved, so adjacency/state vectors built by the engines stay
+     valid; colliding fingerprints are conflated to the smaller pid and
+     depth, exactly as if the run had started in the compressed mode. *)
+  let degrade t =
+    lock_all t;
+    Fun.protect ~finally:(fun () -> unlock_all t) @@ fun () ->
     match t.repr with
     | Rexact shards ->
-        let shard = K.hash s land max_int land t.mask in
-        Mutex.lock t.locks.(shard);
-        let r =
-          match T.find_opt shards.(shard) s with
-          | Some e -> e.pid
-          | None -> -1
-        in
-        Mutex.unlock t.locks.(shard);
-        r
-    | Rfp { bits; shards } ->
-        let f = t.fp s land ((1 lsl bits) - 1) in
-        let shard = f land t.mask in
-        Mutex.lock t.locks.(shard);
-        let r =
-          match Hashtbl.find_opt shards.(shard) f with
-          | Some e -> e.pid
-          | None -> -1
-        in
-        Mutex.unlock t.locks.(shard);
-        r
-    | Rbit _ -> -1
+        let bits = 62 in
+        let nsh = Array.length shards in
+        let fresh = Array.init nsh (fun _ -> Hashtbl.create 1024) in
+        Array.iter
+          (fun tbl ->
+            T.iter
+              (fun key e ->
+                let f = t.fp key land ((1 lsl bits) - 1) in
+                let sh = f land t.mask in
+                match Hashtbl.find_opt fresh.(sh) f with
+                | Some e0 ->
+                    Hashtbl.replace fresh.(sh) f
+                      {
+                        pid = min e.pid e0.pid;
+                        depth = min e.depth e0.depth;
+                      }
+                | None ->
+                    Hashtbl.add fresh.(sh) f { pid = e.pid; depth = e.depth })
+              tbl)
+          shards;
+        Array.iteri (fun i tb -> t.filled.(i) <- Hashtbl.length tb) fresh;
+        t.mode <- Hash_compaction { bits };
+        t.repr <- Rfp { bits; shards = fresh };
+        Some t.mode
+    | Rfp { bits = _; shards } ->
+        let log2_bits = 25 and hashes = 3 in
+        let m1 = (1 lsl log2_bits) - 1 in
+        let nwords = ((1 lsl log2_bits) + 62) / 63 in
+        let words = Array.init nwords (fun _ -> Atomic.make 0) in
+        Array.iter
+          (fun tbl ->
+            Hashtbl.iter
+              (fun f _ ->
+                let h2 =
+                  (Int64.to_int (mix64 (Int64.of_int f)) land m1) lor 1
+                in
+                let pos = ref (f land m1) in
+                for _ = 1 to hashes do
+                  ignore (bit_test_set words !pos);
+                  pos := (!pos + h2) land m1
+                done)
+              tbl)
+          shards;
+        t.mode <- Bitstate { log2_bits; hashes };
+        t.repr <- Rbit { log2_bits; hashes; words };
+        Some t.mode
+    | Rbit _ -> None
+
+  (* Depth stamp per provisional id, for checkpointing.  Ids conflated
+     away by a fingerprint collision (or untracked by bitstate) keep the
+     default stamp 0. *)
+  let depths t =
+    lock_all t;
+    Fun.protect ~finally:(fun () -> unlock_all t) @@ fun () ->
+    let a = Array.make (Atomic.get t.next) 0 in
+    let put _ e =
+      if e.pid >= 0 && e.pid < Array.length a then a.(e.pid) <- e.depth
+    in
+    (match t.repr with
+    | Rexact shards -> Array.iter (T.iter put) shards
+    | Rfp { shards; _ } -> Array.iter (Hashtbl.iter put) shards
+    | Rbit _ -> ());
+    a
 end

@@ -77,6 +77,10 @@ type coverage = {
 
 val pp_coverage : Format.formatter -> coverage -> unit
 
+val coverage_of : mode:mode -> stored:int -> coverage
+(** The coverage estimate a store in [mode] would report after
+    [stored] insertions (what {!Make.coverage} computes). *)
+
 val fingerprint : 'a -> int
 (** The 62-bit FNV-1a fingerprint of a value's marshalled bytes
     ([Marshal.No_sharing]).  Deterministic across runs and domains. *)
@@ -117,10 +121,37 @@ end) : sig
   (** States inserted so far (the provisional-id counter). *)
 
   val tracks_pids : t -> bool
-  (** [false] only for {!Bitstate}: no state -> id lookup, no replay. *)
+  (** [false] only for {!Bitstate}: no state -> id lookup, no replay.
+      May flip from [true] to [false] mid-run via {!degrade}. *)
 
   val occupancy : t -> int array
   (** Insertions per lock stripe; sums to {!total}. *)
 
   val coverage : t -> coverage
+
+  val current_mode : t -> mode
+  (** The mode the table is operating in {e now} — the creation mode
+      until the first {!degrade}. *)
+
+  val degrade : t -> mode option
+  (** Swap the table one rung down the compression ladder, in place:
+      [Exact -> Hash_compaction {bits = 62} -> Bitstate] (2^25 bits,
+      3 hashes).  Returns the new mode, or [None] when already at the
+      bottom.  Safe to call concurrently with [intern]/[find_pid]: the
+      swap happens under every stripe lock and racing operations retry
+      against the new representation.  Provisional ids survive the
+      swap (colliding fingerprints conflate to the smaller pid), so
+      engine-side vectors indexed by pid remain valid; the freed exact
+      keys become garbage for the next GC.
+
+      Caveat: degrading a {!Hash_compaction} table created with a
+      non-default [bits < 62] re-probes by the {e masked} fingerprints,
+      while subsequent live interns probe by full-width ones — only the
+      default width round-trips exactly.  Narrow widths exist solely
+      for collision-injection tests. *)
+
+  val depths : t -> int array
+  (** Snapshot of the BFS depth stamp per provisional id (index = pid),
+      for checkpointing.  Ids conflated away by a fingerprint collision
+      or untracked by {!Bitstate} report depth 0. *)
 end

@@ -307,15 +307,17 @@ let reduced_successors ?(par = false) (a : analysis) ~alphabet :
       cross_domain_blocked = 0;
     }
   in
-  let smu = Mutex.create () in
-  let with_stats f =
-    if par then begin
-      Mutex.lock smu;
-      f ();
-      Mutex.unlock smu
-    end
-    else f ()
+  (* Every stripe-lock critical section below runs under [Fun.protect]:
+     the hashed operations inside call [Sem.hash_state]/[Sem.equal_state],
+     and a raise there with a lock still held would deadlock every other
+     domain on that stripe (the work-stealing engine survives raising
+     user code precisely because no lock is orphaned). *)
+  let locked m f =
+    Mutex.lock m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock m) f
   in
+  let smu = Mutex.create () in
+  let with_stats f = if par then locked smu f else f () in
   (* Discovery indices for the cycle proviso: every state this system
      has handed out or been asked about gets a sequence number when
      first seen.  An ample transition into a state discovered no later
@@ -368,9 +370,10 @@ let reduced_successors ?(par = false) (a : analysis) ~alphabet :
   let fmu = Mutex.create () in
   let future_offers comp =
     let t = Sem.component_term comp in
-    if par then Mutex.lock fmu;
-    let cached = TH.find_opt future_cache t in
-    if par then Mutex.unlock fmu;
+    let cached =
+      if par then locked fmu (fun () -> TH.find_opt future_cache t)
+      else TH.find_opt future_cache t
+    in
     match cached with
     | Some set -> set
     | None ->
@@ -380,24 +383,23 @@ let reduced_successors ?(par = false) (a : analysis) ~alphabet :
             (Lint_pa.offered SSet.empty t)
             (Lint_pa.offered_by a.defs (Lint_pa.reachable_from a.defs roots))
         in
-        if par then Mutex.lock fmu;
-        if not (TH.mem future_cache t) then TH.add future_cache t set;
-        if par then Mutex.unlock fmu;
+        let install () =
+          if not (TH.mem future_cache t) then TH.add future_cache t set
+        in
+        if par then locked fmu install else install ();
         set
   in
   let note s =
-    if par then begin
+    if par then
       let k = stripe s in
-      Mutex.lock locks.(k);
-      (match H.find_opt seen_p.(k) s with
-      | Some _ -> ()
-      | None ->
-          (* counter fetched inside the stripe lock — see the soundness
-             comment at [seen_p] *)
-          let d = Atomic.fetch_and_add next_disc_p 1 in
-          H.add seen_p.(k) s (d, (Domain.self () :> int)));
-      Mutex.unlock locks.(k)
-    end
+      locked locks.(k) (fun () ->
+          match H.find_opt seen_p.(k) s with
+          | Some _ -> ()
+          | None ->
+              (* counter fetched inside the stripe lock — see the
+                 soundness comment at [seen_p] *)
+              let d = Atomic.fetch_and_add next_disc_p 1 in
+              H.add seen_p.(k) s (d, (Domain.self () :> int)))
     else if not (H.mem seen s) then begin
       H.add seen s !next_disc;
       incr next_disc
@@ -406,13 +408,9 @@ let reduced_successors ?(par = false) (a : analysis) ~alphabet :
   (* Stamp and minting domain of a noted state; [None] means "discovered
      strictly later than any stamp already read" (see [seen_p]). *)
   let disc_of s =
-    if par then begin
+    if par then
       let k = stripe s in
-      Mutex.lock locks.(k);
-      let r = H.find_opt seen_p.(k) s in
-      Mutex.unlock locks.(k);
-      r
-    end
+      locked locks.(k) (fun () -> H.find_opt seen_p.(k) s)
     else Option.map (fun d -> (d, 0)) (H.find_opt seen s)
   in
   let expand (s : Sem.state) ~disc ~mydom : (Sem.label * Sem.state) list =
@@ -587,9 +585,7 @@ let reduced_successors ?(par = false) (a : analysis) ~alphabet :
      reduced states under races. *)
   let successors_par s =
     let k = stripe s in
-    Mutex.lock locks.(k);
-    let cached = H.find_opt memo_p.(k) s in
-    Mutex.unlock locks.(k);
+    let cached = locked locks.(k) (fun () -> H.find_opt memo_p.(k) s) in
     match cached with
     | Some r -> r
     | None ->
@@ -598,16 +594,12 @@ let reduced_successors ?(par = false) (a : analysis) ~alphabet :
         with_stats (fun () -> stats.states <- stats.states + 1);
         let result = expand s ~disc ~mydom:(Domain.self () :> int) in
         List.iter (fun (_, s') -> note s') result;
-        Mutex.lock locks.(k);
-        let final =
-          match H.find_opt memo_p.(k) s with
-          | Some winner -> winner
-          | None ->
-              H.add memo_p.(k) s result;
-              result
-        in
-        Mutex.unlock locks.(k);
-        final
+        locked locks.(k) (fun () ->
+            match H.find_opt memo_p.(k) s with
+            | Some winner -> winner
+            | None ->
+                H.add memo_p.(k) s result;
+                result)
   in
   ((if par then successors_par else successors_seq), stats)
 

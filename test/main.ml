@@ -18,4 +18,5 @@ let () =
       Test_fd.tests;
       Test_lint.tests;
       Test_por.tests;
+      Test_resilience.tests;
     ]

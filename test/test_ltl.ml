@@ -159,7 +159,7 @@ let prop_pipeline_vs_reference =
                  (List.map pos_of_step l.C.prefix)
                  (List.map pos_of_step l.C.cycle))
         | C.Holds -> true
-        | C.Unknown _ -> false
+        | C.Unknown _ | C.Exhausted _ -> false
       in
       List.for_all
         (fun engine ->

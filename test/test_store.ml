@@ -173,6 +173,7 @@ let test_compact_find_never_fabricates () =
   | Mc.Explore.Reached _ ->
       Alcotest.fail "fabricated a witness beyond the collision cut"
   | Mc.Explore.Bound_hit _ -> Alcotest.fail "unexpected bound"
+  | Mc.Explore.Exhausted _ -> Alcotest.fail "unexpected exhaustion"
 
 let prop_compressed_never_overreport =
   QCheck.Test.make ~name:"compressed stores never over-report" ~count:100
