@@ -1,6 +1,6 @@
 DUNE ?= dune
 
-.PHONY: all build test bench bench-parallel faults lint ltl por par resilience clean fmt
+.PHONY: all build test bench bench-parallel faults lint ltl por par resilience slice clean fmt
 
 all: build
 
@@ -85,6 +85,20 @@ resilience:
 	timeout 300 _build/default/bin/hbexplore.exe stats -v dynamic --tmax 40 \
 	  --resume _build/hbres.ck > _build/hbres-resumed.out 2>/dev/null
 	cmp _build/hbres-clean.out _build/hbres-resumed.out
+
+# Slicing gate: the qcheck parity harness (sliced and full explorations
+# agree on every safety and LTL verdict, sliced counterexamples replay
+# in the full model via the certificate, slice composes with the
+# reduction and the parallel engine), then the six-variant slice smoke:
+# verdict parity for slice alone / slice+POR / slice+POR at 4 domains,
+# at least one TA variant's space at least halved, at least one sliced
+# counterexample replayed, JSON byte-identical across two runs.
+slice:
+	$(DUNE) exec test/main.exe -- test slice
+	$(DUNE) exec bin/hbverify.exe -- slice-smoke
+	$(DUNE) exec bin/hbverify.exe -- slice-smoke --json > _build/hbslice-1.json
+	$(DUNE) exec bin/hbverify.exe -- slice-smoke --json > _build/hbslice-2.json
+	cmp _build/hbslice-1.json _build/hbslice-2.json
 
 # Just the sequential-vs-parallel exploration comparison.
 bench-parallel:

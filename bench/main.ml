@@ -588,6 +588,134 @@ let pr7_report () =
       Format.printf "wrote BENCH_pr7.json@."
 
 (* ------------------------------------------------------------------ *)
+(* Part 1f: static slicing — BENCH_pr8.json                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Cost/benefit of the static slice, alone and composed with the
+   ample-set reduction: the TA family at the pr6 sweep point (where the
+   property-free slice wins through clock activity and dead writes),
+   the PA family at the POR measurement points (slice alone, POR alone,
+   slice-then-POR), plus the analysis-cache counters so the memoisation
+   payoff is on record next to the numbers it pays for. *)
+let pr8_report () =
+  Format.printf "@.=== PR8: property-driven slicing sweep ===@.@.";
+  let ta_rows =
+    List.map
+      (fun v ->
+        let params = H.Params.make ~tmin:2 ~tmax:8 () in
+        let model = H.Ta_models.build v params in
+        let full_sys = Ta.Semantics.system (Ta.Semantics.compile model) in
+        let (full : (Ta.Semantics.config, Ta.Semantics.label) Mc.Explore.space),
+            t_full =
+          time_best 3 (fun () -> Mc.Explore.space full_sys)
+        in
+        let sl = Slice.Ta.slice model in
+        let ssys =
+          Slice.Ta.system sl (Ta.Semantics.compile sl.Slice.Ta.model)
+        in
+        let sliced, t_slice = time_best 3 (fun () -> Mc.Explore.space ssys) in
+        let fs = Lts.Graph.num_states full.Mc.Explore.lts
+        and ft = Lts.Graph.num_transitions full.Mc.Explore.lts
+        and ss = Lts.Graph.num_states sliced.Mc.Explore.lts
+        and st = Lts.Graph.num_transitions sliced.Mc.Explore.lts in
+        Format.printf
+          "ta %-12s %a: %7d -> %6d states (%.2fx)  %8d -> %7d trans  %7.3fs \
+           -> %6.3fs (%.0f st/s sliced)@."
+          (H.Ta_models.variant_name v)
+          H.Params.pp params fs ss
+          (float_of_int fs /. float_of_int ss)
+          ft st t_full t_slice
+          (float_of_int ss /. t_slice);
+        (v, params, fs, ft, t_full, ss, st, t_slice))
+      H.Ta_models.all_variants
+  in
+  Format.printf "@.";
+  let pa_rows =
+    List.map
+      (fun (v, n, tmin, tmax) ->
+        let params = H.Params.make ~n ~tmin ~tmax () in
+        let full, t_full = time_best 3 (fun () -> H.Pa_verify.explore v params) in
+        let slice, t_slice =
+          time_best 3 (fun () -> H.Pa_verify.explore ~slice:true v params)
+        in
+        let por, t_por =
+          time_best 3 (fun () -> H.Pa_verify.explore ~reduce:true v params)
+        in
+        let both, t_both =
+          time_best 3 (fun () ->
+              H.Pa_verify.explore ~slice:true ~reduce:true v params)
+        in
+        let r a b =
+          float_of_int a.H.Pa_verify.states
+          /. float_of_int b.H.Pa_verify.states
+        in
+        Format.printf
+          "pa %-12s n=%d (%d,%d): %6d states  slice %.2fx  por %.2fx  \
+           slice+por %.2fx (%d states, %.0f st/s)@."
+          (H.Pa_models.variant_name v)
+          n tmin tmax full.H.Pa_verify.states (r full slice) (r full por)
+          (r full both) both.H.Pa_verify.states
+          (float_of_int both.H.Pa_verify.states /. t_both);
+        (v, n, tmin, tmax, (full, t_full), (slice, t_slice), (por, t_por),
+         (both, t_both)))
+      por_points
+  in
+  let cache = H.Analysis_cache.stats () in
+  Format.printf "@.%a@." H.Analysis_cache.pp cache;
+  let rss = peak_rss_kb () in
+  Format.printf "peak RSS: %d kB@." rss;
+  let oc = open_out "BENCH_pr8.json" in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\"tool\":\"bench\",\"section\":\"pr8\",\"samples_per_cell\":3,\n";
+  p " \"ta\":[\n";
+  List.iteri
+    (fun k (v, (params : H.Params.t), fs, ft, t_full, ss, st, t_slice) ->
+      if k > 0 then p ",\n";
+      p
+        "  {\"variant\":\"%s\",\"tmin\":%d,\"tmax\":%d,\"n\":%d,\"full_states\":%d,\"full_transitions\":%d,\"full_wall_s\":%.4f,\"sliced_states\":%d,\"sliced_transitions\":%d,\"sliced_wall_s\":%.4f,\"state_ratio\":%.2f,\"transition_ratio\":%.2f,\"sliced_states_per_sec\":%.0f}"
+        (H.Ta_models.variant_name v)
+        params.H.Params.tmin params.H.Params.tmax params.H.Params.n fs ft
+        t_full ss st t_slice
+        (float_of_int fs /. float_of_int ss)
+        (float_of_int ft /. float_of_int st)
+        (float_of_int ss /. t_slice))
+    ta_rows;
+  p "\n ],\n";
+  p " \"pa\":[\n";
+  List.iteri
+    (fun k
+         ( v, n, tmin, tmax, (full, t_full), (slice, t_slice), (por, t_por),
+           (both, t_both) ) ->
+      if k > 0 then p ",\n";
+      let cell tag (s : H.Pa_verify.explore_stats) t =
+        p
+          "\"%s\":{\"states\":%d,\"transitions\":%d,\"wall_s\":%.4f,\"states_per_sec\":%.0f,\"state_ratio\":%.2f,\"transition_ratio\":%.2f}"
+          tag s.H.Pa_verify.states s.H.Pa_verify.transitions t
+          (float_of_int s.H.Pa_verify.states /. t)
+          (float_of_int full.H.Pa_verify.states
+          /. float_of_int s.H.Pa_verify.states)
+          (float_of_int full.H.Pa_verify.transitions
+          /. float_of_int s.H.Pa_verify.transitions)
+      in
+      p "  {\"variant\":\"%s\",\"n\":%d,\"tmin\":%d,\"tmax\":%d,"
+        (H.Pa_models.variant_name v)
+        n tmin tmax;
+      cell "full" full t_full;
+      p ",";
+      cell "slice" slice t_slice;
+      p ",";
+      cell "por" por t_por;
+      p ",";
+      cell "slice_por" both t_both;
+      p "}")
+    pa_rows;
+  p "\n ],\n";
+  p " \"cache\":%s,\n" (H.Analysis_cache.to_json cache);
+  p " \"peak_rss_kb\":%d}\n" rss;
+  close_out oc;
+  Format.printf "wrote BENCH_pr8.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel timings                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -798,6 +926,7 @@ let () =
   else if has "--por-only" then por_report ()
   else if has "--pr6-only" then pr6_report ()
   else if has "--pr7-only" then pr7_report ()
+  else if has "--pr8-only" then pr8_report ()
   else begin
     if not bench_only then regenerate ();
     if not tables_only then begin

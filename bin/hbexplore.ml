@@ -34,6 +34,14 @@ let fixed_arg = Arg.(value & flag & info [ "fixed" ] ~doc:"Fixed version.")
 let monitors_arg =
   Arg.(value & flag & info [ "monitors" ] ~doc:"Include the R1 watchdogs.")
 
+let slice_arg =
+  Arg.(
+    value & flag
+    & info [ "slice" ]
+        ~doc:"Explore the statically sliced model (dead-write elimination, \
+              constant folding, clock-activity reduction; exact, \
+              label-preserving).")
+
 let jobs_arg =
   Arg.(
     value
@@ -99,15 +107,21 @@ let json_arg =
   Arg.(value & flag & info [ "json" ] ~doc:"Emit the deterministic JSON result.")
 
 let stats_cmd =
-  let run variant tmin tmax n fixed monitors jobs show_stats store levels
+  let run variant tmin tmax n fixed monitors slice jobs show_stats store levels
       count_only json bsecs bmb no_degrade ckpt ckpt_every resume_file =
     let jobs = resolve_jobs jobs in
     let params = H.Params.make ~n ~tmin ~tmax () in
     let model =
       H.Ta_models.build ~fixed ~with_r1_monitors:monitors variant params
     in
-    let net = Ta.Semantics.compile model in
-    let sys = Ta.Semantics.system net in
+    (* the property-free slice: no seed, so the reduction comes from dead
+       writes, folded constants and clock activity alone *)
+    let sys =
+      if slice then
+        let sl = Slice.Ta.slice model in
+        Slice.Ta.system sl (Ta.Semantics.compile sl.Slice.Ta.model)
+      else Ta.Semantics.system (Ta.Semantics.compile model)
+    in
     let max_states = 10_000_000 in
     let workstealing = if levels then Some false else None in
     let count_mode =
@@ -126,23 +140,24 @@ let stats_cmd =
        parameters, bound and store family, or the resume is rejected *)
     let kind =
       Printf.sprintf
-        "hbexplore/stats/ta/%s/fixed=%b/monitors=%b/tmin=%d/tmax=%d/n=%d/max=%d/store=%s"
+        "hbexplore/stats/ta/%s/fixed=%b/monitors=%b/slice=%b/tmin=%d/tmax=%d/n=%d/max=%d/store=%s"
         (H.Ta_models.variant_name variant)
-        fixed monitors tmin tmax n max_states (Mc.Store.mode_name store)
+        fixed monitors slice tmin tmax n max_states (Mc.Store.mode_name store)
     in
     let header ppf () =
-      Format.fprintf ppf "%s%s %a%s"
+      Format.fprintf ppf "%s%s %a%s%s"
         (H.Ta_models.variant_name variant)
         (if fixed then " [fixed]" else "")
         H.Params.pp params
         (if monitors then " +monitors" else "")
+        (if slice then " [sliced]" else "")
     in
     let json_result ~states ~transitions ~complete ~coverage ~exhausted
         ~degraded =
       Printf.printf
-        "{\"tool\":\"hbexplore\",\"cmd\":\"stats\",\"variant\":\"%s\",\"fixed\":%b,\"monitors\":%b,\"tmin\":%d,\"tmax\":%d,\"n\":%d,\"store\":\"%s\",\"states\":%d,%s\"complete\":%b,\"coverage\":%s,\"exhausted\":%s,\"degraded\":[%s]}\n"
+        "{\"tool\":\"hbexplore\",\"cmd\":\"stats\",\"variant\":\"%s\",\"fixed\":%b,\"monitors\":%b,\"slice\":%b,\"tmin\":%d,\"tmax\":%d,\"n\":%d,\"store\":\"%s\",\"states\":%d,%s\"complete\":%b,\"coverage\":%s,\"exhausted\":%s,\"degraded\":[%s]}\n"
         (H.Ta_models.variant_name variant)
-        fixed monitors tmin tmax n (Mc.Store.mode_name store) states
+        fixed monitors slice tmin tmax n (Mc.Store.mode_name store) states
         (match transitions with
         | Some t -> Printf.sprintf "\"transitions\":%d," t
         | None -> "")
@@ -279,7 +294,7 @@ let stats_cmd =
        ~doc:"Reachable state space of a timed-automata model.")
     Term.(
       const run $ variant_arg $ tmin_arg $ tmax_arg $ n_arg $ fixed_arg
-      $ monitors_arg $ jobs_arg $ exploration_stats_arg $ store_arg
+      $ monitors_arg $ slice_arg $ jobs_arg $ exploration_stats_arg $ store_arg
       $ levels_arg $ count_arg $ json_arg $ Cli_resilience.budget_secs_arg
       $ Cli_resilience.budget_mb_arg $ Cli_resilience.no_degrade_arg
       $ Cli_resilience.checkpoint_arg $ Cli_resilience.checkpoint_every_arg
@@ -293,35 +308,55 @@ let pa_stats_cmd =
           ~doc:"Also explore the ample-set reduced state space and report \
                 the reduction ratio.")
   in
-  let run tmin tmax n reduce =
+  let pa_slice_arg =
+    Arg.(
+      value & flag
+      & info [ "slice" ]
+          ~doc:"Also explore the statically sliced state space (and, with \
+                $(b,--reduce), the sliced-then-reduced one) and report the \
+                ratios.")
+  in
+  let run tmin tmax n reduce slice =
     let params = H.Params.make ~n ~tmin ~tmax () in
+    let ratio (full : H.Pa_verify.explore_stats)
+        (other : H.Pa_verify.explore_stats) =
+      float_of_int full.H.Pa_verify.states
+      /. float_of_int other.H.Pa_verify.states
+    in
     List.iter
       (fun v ->
         let full = H.Pa_verify.explore v params in
-        if reduce then
+        Format.printf "PA %-10s %a: %d states, %d transitions"
+          (H.Pa_models.variant_name v)
+          H.Params.pp params full.H.Pa_verify.states
+          full.H.Pa_verify.transitions;
+        if slice then begin
+          let sl = H.Pa_verify.explore ~slice:true v params in
+          Format.printf "; sliced: %d states, %d transitions (%.2fx)"
+            sl.H.Pa_verify.states sl.H.Pa_verify.transitions (ratio full sl)
+        end;
+        if reduce then begin
           let red = H.Pa_verify.explore ~reduce:true v params in
-          Format.printf
-            "PA %-10s %a: %d states, %d transitions; reduced: %d states, %d \
-             transitions (%.2fx)@."
-            (H.Pa_models.variant_name v)
-            H.Params.pp params full.H.Pa_verify.states
-            full.H.Pa_verify.transitions red.H.Pa_verify.states
-            red.H.Pa_verify.transitions
-            (float_of_int full.H.Pa_verify.states
-            /. float_of_int red.H.Pa_verify.states)
-        else
-          Format.printf "PA %-10s %a: %d states, %d transitions@."
-            (H.Pa_models.variant_name v)
-            H.Params.pp params full.H.Pa_verify.states
-            full.H.Pa_verify.transitions)
+          Format.printf "; reduced: %d states, %d transitions (%.2fx)"
+            red.H.Pa_verify.states red.H.Pa_verify.transitions
+            (ratio full red)
+        end;
+        if slice && reduce then begin
+          let both = H.Pa_verify.explore ~slice:true ~reduce:true v params in
+          Format.printf "; sliced+reduced: %d states, %d transitions (%.2fx)"
+            both.H.Pa_verify.states both.H.Pa_verify.transitions
+            (ratio full both)
+        end;
+        Format.printf "@.")
       [ H.Pa_models.Binary; H.Pa_models.Revised; H.Pa_models.Two_phase;
         H.Pa_models.Static; H.Pa_models.Expanding; H.Pa_models.Dynamic ]
   in
   Cmd.v
     (Cmd.info "pa-stats"
        ~doc:"Reachable state spaces of the process-algebra models, \
-             optionally with the ample-set reduction for comparison.")
-    Term.(const run $ tmin_arg $ tmax_arg $ n_arg $ reduce_arg)
+             optionally with the static slice and the ample-set reduction \
+             for comparison.")
+    Term.(const run $ tmin_arg $ tmax_arg $ n_arg $ reduce_arg $ pa_slice_arg)
 
 let dot_cmd =
   let run which tmin tmax =

@@ -38,15 +38,24 @@ let run_one name kind : Lint.Report.t =
   match kind with
   | Pa v ->
       (* The PA reports also carry the dependence analysis the ample-set
-         reducer is built on (PA-POR info entries). *)
+         reducer is built on (PA-POR info entries) and what the static
+         slice would remove (PA-SLICE). *)
       let spec = H.Pa_models.build v lint_params in
       let r = Lint.Pa.analyze ~model:name spec in
       Lint.Report.make ~model:name
-        ~diags:(r.Lint.Report.diags @ Por.diagnostics (Por.analyze spec))
+        ~diags:
+          (r.Lint.Report.diags
+          @ Por.diagnostics (Por.analyze spec)
+          @ Slice.Pa.diagnostics (Slice.Pa.slice spec))
         ~stats:r.Lint.Report.stats
   | Ta (v, fixed) ->
-      Lint.Ta_model.analyze ~model:name
-        (H.Ta_models.build ~fixed ~with_r1_monitors:true v lint_params)
+      (* TA reports carry the property-free slice summary (TA-SLICE):
+         folded constants, dead writes, inactive clocks. *)
+      let model = H.Ta_models.build ~fixed ~with_r1_monitors:true v lint_params in
+      let r = Lint.Ta_model.analyze ~model:name model in
+      Lint.Report.make ~model:name
+        ~diags:(r.Lint.Report.diags @ Slice.Ta.diagnostics (Slice.Ta.slice model))
+        ~stats:r.Lint.Report.stats
 
 (* Allowlist entries are "CODE" (waive the code everywhere) or
    "MODEL/CODE" (waive it for one model).  Waived diagnostics stay in the

@@ -122,13 +122,13 @@ let json_steps to_string steps =
 (* State-space statistics of the model being checked (not of the Büchi
    product): states, transitions, completeness, and — when the ample-set
    reduction is on — the full-space size and the reduction ratio. *)
-let pa_stats_json ~reduce variant params =
-  let st = H.Pa_verify.explore ~reduce variant params in
+let pa_stats_json ~slice ~reduce variant params =
+  let st = H.Pa_verify.explore ~slice ~reduce variant params in
   let buf = Buffer.create 128 in
   Printf.bprintf buf "{\"states\":%d,\"transitions\":%d,\"complete\":%b"
     st.H.Pa_verify.states st.H.Pa_verify.transitions st.H.Pa_verify.complete;
-  if reduce then begin
-    let full = H.Pa_verify.explore ~reduce:false variant params in
+  if slice || reduce then begin
+    let full = H.Pa_verify.explore variant params in
     Printf.bprintf buf ",\"full_states\":%d,\"reduction_ratio\":%.2f"
       full.H.Pa_verify.states
       (float_of_int full.H.Pa_verify.states
@@ -137,16 +137,35 @@ let pa_stats_json ~reduce variant params =
   Buffer.add_string buf "}";
   Buffer.contents buf
 
-let ta_stats_json ~fixed variant params =
-  let net = Ta.Semantics.compile (H.Ta_models.build ~fixed variant params) in
-  let space = Mc.Explore.space ~max_states:10_000_000 (Ta.Semantics.system net) in
-  Printf.sprintf "{\"states\":%d,\"transitions\":%d,\"complete\":%b}"
+let ta_stats_json ~fixed ~slice variant params =
+  let model = H.Ta_models.build ~fixed variant params in
+  let sys =
+    if slice then
+      let sl = Slice.Ta.slice model in
+      Slice.Ta.system sl (Ta.Semantics.compile sl.Slice.Ta.model)
+    else Ta.Semantics.system (Ta.Semantics.compile model)
+  in
+  let space = Mc.Explore.space ~max_states:10_000_000 sys in
+  let buf = Buffer.create 128 in
+  Printf.bprintf buf "{\"states\":%d,\"transitions\":%d,\"complete\":%b"
     (Lts.Graph.num_states space.Mc.Explore.lts)
     (Lts.Graph.num_transitions space.Mc.Explore.lts)
-    space.Mc.Explore.complete
+    space.Mc.Explore.complete;
+  if slice then begin
+    let full =
+      Mc.Explore.space ~max_states:10_000_000
+        (Ta.Semantics.system (Ta.Semantics.compile model))
+    in
+    Printf.bprintf buf ",\"full_states\":%d,\"reduction_ratio\":%.2f"
+      (Lts.Graph.num_states full.Mc.Explore.lts)
+      (float_of_int (Lts.Graph.num_states full.Mc.Explore.lts)
+      /. float_of_int (Lts.Graph.num_states space.Mc.Explore.lts))
+  end;
+  Buffer.add_string buf "}";
+  Buffer.contents buf
 
-let verdict_json ~model ~variant ~params ~fixed ~reduce ~engine ~req ~formula
-    ~fairness_names ~stats ~to_string verdict =
+let verdict_json ~model ~variant ~params ~fixed ~slice ~reduce ~engine ~req
+    ~formula ~fairness_names ~stats ~to_string verdict =
   let open Printf in
   let buf = Buffer.create 256 in
   bprintf buf
@@ -155,8 +174,8 @@ let verdict_json ~model ~variant ~params ~fixed ~reduce ~engine ~req ~formula
     (H.Ta_models.variant_name variant)
     params.H.Params.tmin params.H.Params.tmax;
   bprintf buf
-    "\"n\":%d,\"fixed\":%b,\"reduce\":%b,\"requirement\":\"%s\",\"engine\":\"%s\","
-    params.H.Params.n fixed reduce (H.Requirements.name req)
+    "\"n\":%d,\"fixed\":%b,\"slice\":%b,\"reduce\":%b,\"requirement\":\"%s\",\"engine\":\"%s\","
+    params.H.Params.n fixed slice reduce (H.Requirements.name req)
     (match engine with Ltl.Check.Ndfs -> "ndfs" | Ltl.Check.Scc -> "scc");
   bprintf buf "\"formula\":\"%s\",\"fairness\":[%s],\"stats\":%s,"
     (json_escape formula)
@@ -210,7 +229,7 @@ let exhaustion_of_cursor reason cursor =
    the PA action names, with the ample-set reduction available because
    those formulas are stutter-invariant. *)
 let run_pa_check ?domains ?budget ?ckpt_file ~ckpt_every ~resume_file variant
-    params reduce engine json req =
+    params slice reduce engine json req =
   let pv =
     match H.Pa_models.of_ta variant with
     | Some pv -> pv
@@ -218,9 +237,9 @@ let run_pa_check ?domains ?budget ?ckpt_file ~ckpt_every ~resume_file variant
   in
   let kind =
     Printf.sprintf
-      "hbltl/check/pa/%s/reduce=%b/req=%s/tmin=%d/tmax=%d/n=%d/engine=scc"
+      "hbltl/check/pa/%s/slice=%b/reduce=%b/req=%s/tmin=%d/tmax=%d/n=%d/engine=scc"
       (H.Pa_models.variant_name pv)
-      reduce (H.Requirements.name req) params.H.Params.tmin
+      slice reduce (H.Requirements.name req) params.H.Params.tmin
       params.H.Params.tmax params.H.Params.n
   in
   let resume = Cli_resilience.load_resume ~kind resume_file in
@@ -230,8 +249,8 @@ let run_pa_check ?domains ?budget ?ckpt_file ~ckpt_every ~resume_file variant
       ckpt_file
   in
   let result =
-    H.Pa_verify.check_live_run ~engine ~reduce ?domains ?budget ?checkpoint
-      ?resume pv params req
+    H.Pa_verify.check_live_run ~engine ~slice ~reduce ?domains ?budget
+      ?checkpoint ?resume pv params req
   in
   let verdict, suspended =
     match result with
@@ -248,19 +267,20 @@ let run_pa_check ?domains ?budget ?ckpt_file ~ckpt_every ~resume_file variant
   in
   if json then
     print_endline
-      (verdict_json ~model:"pa" ~variant ~params ~fixed:false ~reduce ~engine
-         ~req ~formula
+      (verdict_json ~model:"pa" ~variant ~params ~fixed:false ~slice ~reduce
+         ~engine ~req ~formula
          ~fairness_names:(fairness_names H.Requirements.live_fairness_pa)
          ~stats:
            (match verdict with
            | Ltl.Check.Exhausted _ -> "null"
-           | _ -> pa_stats_json ~reduce pv params)
+           | _ -> pa_stats_json ~slice ~reduce pv params)
          ~to_string:pa_step_string verdict)
   else begin
-    Format.printf "PA %s %a %s-live (%s engine%s)@."
+    Format.printf "PA %s %a %s-live (%s engine%s%s)@."
       (H.Pa_models.variant_name pv)
       H.Params.pp params (H.Requirements.name req)
       (match engine with Ltl.Check.Ndfs -> "ndfs" | Ltl.Check.Scc -> "scc")
+      (if slice then ", sliced" else "")
       (if reduce then ", reduced" else "");
     Format.printf "property: %s@." (H.Requirements.live_description req);
     Format.printf "formula:  %s@." formula;
@@ -286,8 +306,8 @@ let run_pa_check ?domains ?budget ?ckpt_file ~ckpt_every ~resume_file variant
   verdict
 
 let check_cmd =
-  let run variant tmin tmax n fixed pa reduce engine json msc jobs bsecs bmb
-      ckpt_file ckpt_every resume_file req =
+  let run variant tmin tmax n fixed pa slice reduce engine json msc jobs bsecs
+      bmb ckpt_file ckpt_every resume_file req =
     let domains =
       if jobs < 0 then failwith "--jobs must be >= 0"
       else if jobs = 0 then Domain.recommended_domain_count ()
@@ -317,13 +337,13 @@ let check_cmd =
     if pa then
       verdict_exit
         (run_pa_check ~domains ~budget ?ckpt_file ~ckpt_every ~resume_file
-           variant params reduce engine json req)
+           variant params slice reduce engine json req)
     else begin
       let kind =
         Printf.sprintf
-          "hbltl/check/ta/%s/fixed=%b/req=%s/tmin=%d/tmax=%d/n=%d/engine=scc"
+          "hbltl/check/ta/%s/fixed=%b/slice=%b/req=%s/tmin=%d/tmax=%d/n=%d/engine=scc"
           (H.Ta_models.variant_name variant)
-          fixed (H.Requirements.name req) tmin tmax n
+          fixed slice (H.Requirements.name req) tmin tmax n
       in
       let resume = Cli_resilience.load_resume ~kind resume_file in
       let checkpoint =
@@ -332,8 +352,8 @@ let check_cmd =
           ckpt_file
       in
       let result =
-        H.Verify.check_live_run ~fixed ~engine ~domains ~budget ?checkpoint
-          ?resume variant params req
+        H.Verify.check_live_run ~fixed ~engine ~slice ~domains ~budget
+          ?checkpoint ?resume variant params req
       in
       let verdict, suspended =
         match result with
@@ -350,13 +370,13 @@ let check_cmd =
       in
       if json then
         print_endline
-          (verdict_json ~model:"ta" ~variant ~params ~fixed ~reduce:false
-             ~engine ~req ~formula
+          (verdict_json ~model:"ta" ~variant ~params ~fixed ~slice
+             ~reduce:false ~engine ~req ~formula
              ~fairness_names:(fairness_names H.Requirements.live_fairness)
              ~stats:
                (match verdict with
                | Ltl.Check.Exhausted _ -> "null"
-               | _ -> ta_stats_json ~fixed variant params)
+               | _ -> ta_stats_json ~fixed ~slice variant params)
              ~to_string:step_string verdict)
       else begin
         Format.printf "%s%s %a %s-live (%s engine)@."
@@ -419,6 +439,14 @@ let check_cmd =
           ~doc:"Check the process-algebra encoding instead of the \
                 timed-automata one (incompatible with --fixed).")
   in
+  let slice_arg =
+    Arg.(
+      value & flag
+      & info [ "slice" ]
+          ~doc:"Check the statically sliced model (label-preserving, so \
+                liveness verdicts are unchanged; composes with --pa and \
+                --reduce).")
+  in
   let reduce_arg =
     Arg.(
       value & flag
@@ -442,7 +470,8 @@ let check_cmd =
        ~doc:"Check the liveness formulation of one requirement.")
     Term.(
       const run $ variant_arg $ tmin_arg $ tmax_arg $ n_arg $ fixed_arg
-      $ pa_arg $ reduce_arg $ engine_arg $ json_arg $ msc_arg $ jobs_arg
+      $ pa_arg $ slice_arg $ reduce_arg $ engine_arg $ json_arg $ msc_arg
+      $ jobs_arg
       $ Cli_resilience.budget_secs_arg $ Cli_resilience.budget_mb_arg
       $ Cli_resilience.checkpoint_arg $ Cli_resilience.checkpoint_every_arg
       $ Cli_resilience.resume_arg $ req_arg)
@@ -548,10 +577,12 @@ let smoke_cmd =
       let verdict, formula =
         run_check variant params false Ltl.Check.Scc req
       in
-      verdict_json ~model:"ta" ~variant ~params ~fixed:false ~reduce:false
-        ~engine:Ltl.Check.Scc ~req ~formula
+      verdict_json ~model:"ta" ~variant ~params ~fixed:false ~slice:false
+        ~reduce:false ~engine:Ltl.Check.Scc ~req ~formula
         ~fairness_names:(fairness_names H.Requirements.live_fairness)
-        ~stats:(ta_stats_json ~fixed:false variant (race_params variant))
+        ~stats:
+          (ta_stats_json ~fixed:false ~slice:false variant
+             (race_params variant))
         ~to_string:step_string verdict
     in
     expect "json verdict reproduces byte-identically" (render () = render ());
@@ -567,6 +598,33 @@ let smoke_cmd =
           (Printf.sprintf "pa binary %s-live: reduced agrees with full"
              (H.Requirements.name req))
           (Ltl.Check.holds full = Ltl.Check.holds red))
+      H.Requirements.all;
+    (* neither must the static slice, on either encoding, alone or
+       composed with the reduction *)
+    List.iter
+      (fun req ->
+        let ta_full =
+          H.Verify.check_live H.Ta_models.Binary
+            (race_params H.Ta_models.Binary) req
+        in
+        let ta_sl =
+          H.Verify.check_live ~slice:true H.Ta_models.Binary
+            (race_params H.Ta_models.Binary) req
+        in
+        expect
+          (Printf.sprintf "ta binary %s-live: sliced agrees with full"
+             (H.Requirements.name req))
+          (Ltl.Check.holds ta_full = Ltl.Check.holds ta_sl);
+        let pa_full = H.Pa_verify.check_live H.Pa_models.Binary pa_params req in
+        let pa_sl =
+          H.Pa_verify.check_live ~slice:true ~reduce:true H.Pa_models.Binary
+            pa_params req
+        in
+        expect
+          (Printf.sprintf
+             "pa binary %s-live: sliced+reduced agrees with full"
+             (H.Requirements.name req))
+          (Ltl.Check.holds pa_full = Ltl.Check.holds pa_sl))
       H.Requirements.all;
     (* show one lasso for the log *)
     (match

@@ -96,19 +96,26 @@ let table_fixed_cmd =
        ~doc:"Verify the section-6 fixed versions of all six variants.")
     Term.(const run $ const ())
 
+let ta_slice_arg =
+  Arg.(
+    value & flag
+    & info [ "slice" ]
+        ~doc:"Model-check the property-directed static slice instead of the               full model (cone-of-influence + dead writes + constant               folding + clock activity; exact, same verdicts).")
+
 let check_cmd =
-  let run variant tmin tmax n fixed bsecs bmb no_degrade req =
+  let run variant tmin tmax n fixed slice bsecs bmb no_degrade req =
     let params = H.Params.make ~n ~tmin ~tmax () in
     let budget = Cli_resilience.budget bsecs bmb in
     let outcome =
-      H.Verify.check ~fixed ~budget ~degrade:(not no_degrade) variant params
-        req
+      H.Verify.check ~fixed ~slice ~budget ~degrade:(not no_degrade) variant
+        params req
     in
     let name ppf () =
-      Format.fprintf ppf "%s%s %a %s"
+      Format.fprintf ppf "%s%s %a %s%s"
         (H.Ta_models.variant_name variant)
         (if fixed then " [fixed]" else "")
         H.Params.pp params (H.Requirements.name req)
+        (if slice then " [sliced]" else "")
     in
     match outcome.H.Verify.exhausted with
     | Some e ->
@@ -140,8 +147,9 @@ let check_cmd =
        ~doc:"Model-check one requirement on one variant.")
     Term.(
       const run $ variant_arg $ tmin_arg $ tmax_arg $ n_arg $ fixed_arg
-      $ Cli_resilience.budget_secs_arg $ Cli_resilience.budget_mb_arg
-      $ Cli_resilience.no_degrade_arg $ req_arg)
+      $ ta_slice_arg $ Cli_resilience.budget_secs_arg
+      $ Cli_resilience.budget_mb_arg $ Cli_resilience.no_degrade_arg
+      $ req_arg)
 
 let cex_cmd =
   let scenarios =
@@ -266,16 +274,23 @@ let reduce_arg =
 let json_arg =
   Arg.(value & flag & info [ "json" ] ~doc:"Emit the deterministic JSON verdict.")
 
-(* Exploration statistics of the (possibly reduced) state space as a
-   deterministic JSON object; with [reduce] also the full-space size and
-   the reduction ratio, so CI logs show what the reduction bought. *)
-let stats_json ~reduce variant params =
-  let st = H.Pa_verify.explore ~reduce variant params in
+let slice_arg =
+  Arg.(
+    value & flag
+    & info [ "slice" ]
+        ~doc:"Explore the statically sliced model (constant parameter               folding + dead-parameter elimination; exact, same verdicts;               composes with $(b,--reduce)).")
+
+(* Exploration statistics of the (possibly sliced and/or reduced) state
+   space as a deterministic JSON object; with [slice] or [reduce] also
+   the full-space size and the combined reduction ratio, so CI logs show
+   what the passes bought. *)
+let stats_json ~slice ~reduce variant params =
+  let st = H.Pa_verify.explore ~slice ~reduce variant params in
   let buf = Buffer.create 128 in
   Printf.bprintf buf "{\"states\":%d,\"transitions\":%d,\"complete\":%b"
     st.H.Pa_verify.states st.H.Pa_verify.transitions st.H.Pa_verify.complete;
-  if reduce then begin
-    let full = H.Pa_verify.explore ~reduce:false variant params in
+  if slice || reduce then begin
+    let full = H.Pa_verify.explore variant params in
     Printf.bprintf buf ",\"full_states\":%d,\"reduction_ratio\":%.2f"
       full.H.Pa_verify.states
       (float_of_int full.H.Pa_verify.states /. float_of_int st.H.Pa_verify.states)
@@ -300,37 +315,39 @@ let resolve_jobs jobs =
   else jobs
 
 let pa_check_cmd =
-  let run variant tmin tmax n reduce json jobs bsecs bmb no_degrade req =
+  let run variant tmin tmax n slice reduce json jobs bsecs bmb no_degrade req =
     let domains = resolve_jobs jobs in
     let params = H.Params.make ~n ~tmin ~tmax () in
     let budget = Cli_resilience.budget bsecs bmb in
     let verdict =
-      H.Pa_verify.check_verdict ~reduce ~domains ~budget
+      H.Pa_verify.check_verdict ~slice ~reduce ~domains ~budget
         ~degrade:(not no_degrade) variant params req
     in
     let print_json verdict_field stats =
       Printf.printf
-        "{\"tool\":\"hbverify\",\"model\":\"pa\",\"variant\":\"%s\",\"tmin\":%d,\"tmax\":%d,\"n\":%d,\"requirement\":\"%s\",\"reduce\":%b,%s,\"stats\":%s}\n"
+        "{\"tool\":\"hbverify\",\"model\":\"pa\",\"variant\":\"%s\",\"tmin\":%d,\"tmax\":%d,\"n\":%d,\"requirement\":\"%s\",\"slice\":%b,\"reduce\":%b,%s,\"stats\":%s}\n"
         (H.Pa_models.variant_name variant)
         params.H.Params.tmin params.H.Params.tmax params.H.Params.n
-        (H.Requirements.name req) reduce verdict_field stats
+        (H.Requirements.name req) slice reduce verdict_field stats
     in
     let print_text status =
-      Format.printf "PA %s %a %s%s: %s@."
+      Format.printf "PA %s %a %s%s%s: %s@."
         (H.Pa_models.variant_name variant)
         H.Params.pp params (H.Requirements.name req)
+        (if slice then " [sliced]" else "")
         (if reduce then " [reduced]" else "")
         status
     in
     match verdict with
     | Mc.Safety.Holds ->
         if json then
-          print_json "\"verdict\":\"holds\"" (stats_json ~reduce variant params)
+          print_json "\"verdict\":\"holds\""
+            (stats_json ~slice ~reduce variant params)
         else print_text "HOLDS"
     | Mc.Safety.Violated _ ->
         if json then
           print_json "\"verdict\":\"violated\""
-            (stats_json ~reduce variant params)
+            (stats_json ~slice ~reduce variant params)
         else print_text "VIOLATED";
         exit Cli_resilience.exit_violation
     | Mc.Safety.Unknown st ->
@@ -365,8 +382,8 @@ let pa_check_cmd =
        ~doc:"Model-check one requirement on a process-algebra model, \
              optionally with ample-set partial-order reduction.")
     Term.(
-      const run $ pa_variant_arg $ tmin_arg $ tmax_arg $ n_arg $ reduce_arg
-      $ json_arg $ jobs_arg $ Cli_resilience.budget_secs_arg
+      const run $ pa_variant_arg $ tmin_arg $ tmax_arg $ n_arg $ slice_arg
+      $ reduce_arg $ json_arg $ jobs_arg $ Cli_resilience.budget_secs_arg
       $ Cli_resilience.budget_mb_arg $ Cli_resilience.no_degrade_arg
       $ req_arg)
 
@@ -455,6 +472,204 @@ let pa_smoke_cmd =
              one of them.")
     Term.(const run $ json_arg)
 
+(* The soundness gate for `make slice`: slicing is an exact projection,
+   so on every shipped variant the sliced, sliced+reduced and full
+   explorations must give the same verdict for every requirement — on
+   both encodings — and every sliced TA counterexample must replay in
+   the full model (the certificate check).  Parameters mirror pa-smoke:
+   small enough for CI, concurrent enough to mean something. *)
+let slice_smoke_cmd =
+  let pa_params variant =
+    if variant = H.Pa_models.Static then H.Params.make ~n:2 ~tmin:2 ~tmax:3 ()
+    else H.Params.make ~n:1 ~tmin:2 ~tmax:4 ()
+  in
+  (* tmin = tmax is the race point where the unfixed R2/R3 are violated,
+     so the certificate-replay path is actually exercised *)
+  let ta_params_list =
+    [ H.Params.make ~n:1 ~tmin:2 ~tmax:2 (); H.Params.make ~n:1 ~tmin:2 ~tmax:3 () ]
+  in
+  let run json =
+    let failures = ref 0 in
+    (* PA: verdict parity (full = sliced = sliced+reduced, the latter at
+       domains 1 and 4) and state-count ratios *)
+    let pa_rows =
+      List.map
+        (fun variant ->
+          let params = pa_params variant in
+          let parity =
+            List.for_all
+              (fun req ->
+                let full = H.Pa_verify.check variant params req in
+                let sl = H.Pa_verify.check ~slice:true variant params req in
+                let slred =
+                  H.Pa_verify.check ~slice:true ~reduce:true variant params req
+                in
+                let slpar =
+                  H.Pa_verify.check ~slice:true ~reduce:true ~domains:4 variant
+                    params req
+                in
+                let ok = full = sl && full = slred && full = slpar in
+                if not ok then incr failures;
+                ok)
+              H.Requirements.all
+          in
+          let full = H.Pa_verify.explore variant params in
+          let sl = H.Pa_verify.explore ~slice:true variant params in
+          let slred =
+            H.Pa_verify.explore ~slice:true ~reduce:true variant params
+          in
+          if not
+               (full.H.Pa_verify.complete && sl.H.Pa_verify.complete
+              && slred.H.Pa_verify.complete)
+          then incr failures;
+          (variant, params, parity, full, sl, slred))
+        pa_variants
+    in
+    (* TA: verdict parity, certificate replay of every sliced
+       counterexample in the full model, and the property-free slice's
+       state-count ratio *)
+    let replays = ref 0 in
+    let ta_rows =
+      List.concat_map
+        (fun variant ->
+          List.map
+            (fun ta_params ->
+              let results =
+                List.map
+                  (fun req ->
+                    let full = H.Verify.check variant ta_params req in
+                    let sl = H.Verify.check ~slice:true variant ta_params req in
+                    let parity = full.H.Verify.holds = sl.H.Verify.holds in
+                    let replayed =
+                      match sl.H.Verify.counterexample with
+                      | None -> true
+                      | Some trace ->
+                          incr replays;
+                          let model =
+                            H.Ta_models.build
+                              ~with_r1_monitors:
+                                (H.Requirements.needs_monitors req)
+                              variant ta_params
+                          in
+                          Slice.replay
+                            (Ta.Semantics.system (Ta.Semantics.compile model))
+                            trace
+                    in
+                    if not (parity && replayed) then incr failures;
+                    (req, parity, replayed))
+                  H.Requirements.all
+              in
+              let model = H.Ta_models.build variant ta_params in
+              let count sys =
+                (Mc.Explore.space ~max_states:10_000_000 sys).Mc.Explore.lts
+                |> Lts.Graph.num_states
+              in
+              let full_states =
+                count (Ta.Semantics.system (Ta.Semantics.compile model))
+              in
+              let sliced_states =
+                let sl = Slice.Ta.slice model in
+                count
+                  (Slice.Ta.system sl (Ta.Semantics.compile sl.Slice.Ta.model))
+              in
+              (variant, ta_params, results, full_states, sliced_states))
+            ta_params_list)
+        H.Ta_models.all_variants
+    in
+    let ratio (full : H.Pa_verify.explore_stats)
+        (sl : H.Pa_verify.explore_stats) =
+      float_of_int full.H.Pa_verify.states
+      /. float_of_int sl.H.Pa_verify.states
+    in
+    if json then begin
+      print_string "{\"tool\":\"hbverify\",\"gate\":\"slice-smoke\",\"pa\":[";
+      List.iteri
+        (fun k (variant, params, parity, full, sl, slred) ->
+          if k > 0 then print_string ",";
+          Printf.printf
+            "{\"variant\":\"%s\",\"tmin\":%d,\"tmax\":%d,\"n\":%d,\"parity\":%b,\"full_states\":%d,\"sliced_states\":%d,\"slice_ratio\":%.2f,\"slice_reduce_states\":%d,\"slice_reduce_ratio\":%.2f}"
+            (H.Pa_models.variant_name variant)
+            params.H.Params.tmin params.H.Params.tmax params.H.Params.n parity
+            full.H.Pa_verify.states sl.H.Pa_verify.states (ratio full sl)
+            slred.H.Pa_verify.states (ratio full slred))
+        pa_rows;
+      print_string "],\"ta\":[";
+      List.iteri
+        (fun k (variant, params, results, full_states, sliced_states) ->
+          if k > 0 then print_string ",";
+          Printf.printf
+            "{\"variant\":\"%s\",\"tmin\":%d,\"tmax\":%d,\"parity\":%b,\"replayed\":%b,\"full_states\":%d,\"sliced_states\":%d,\"slice_ratio\":%.2f}"
+            (H.Ta_models.variant_name variant)
+            params.H.Params.tmin params.H.Params.tmax
+            (List.for_all (fun (_, p, _) -> p) results)
+            (List.for_all (fun (_, _, r) -> r) results)
+            full_states sliced_states
+            (float_of_int full_states /. float_of_int sliced_states))
+        ta_rows;
+      Printf.printf "],\"cache\":%s,\"failures\":%d}\n"
+        (H.Analysis_cache.to_json (H.Analysis_cache.stats ()))
+        !failures
+    end
+    else begin
+      List.iter
+        (fun (variant, params, parity, full, sl, slred) ->
+          Format.printf
+            "PA %-10s %a %s  states %d -> sliced %d (%.2fx) -> +reduce %d \
+             (%.2fx)@."
+            (H.Pa_models.variant_name variant)
+            H.Params.pp params
+            (if parity then "parity ok" else "VERDICT CHANGED")
+            full.H.Pa_verify.states sl.H.Pa_verify.states (ratio full sl)
+            slred.H.Pa_verify.states (ratio full slred))
+        pa_rows;
+      List.iter
+        (fun (variant, params, results, full_states, sliced_states) ->
+          Format.printf "TA %-10s %a " (H.Ta_models.variant_name variant)
+            H.Params.pp params;
+          List.iter
+            (fun (req, parity, replayed) ->
+              Format.printf "%s %s%s  " (H.Requirements.name req)
+                (if parity then "ok" else "VERDICT CHANGED")
+                (if replayed then "" else " REPLAY FAILED"))
+            results;
+          Format.printf "states %d -> sliced %d (%.2fx)@." full_states
+            sliced_states
+            (float_of_int full_states /. float_of_int sliced_states))
+        ta_rows;
+      Format.printf "%a@." H.Analysis_cache.pp (H.Analysis_cache.stats ())
+    end;
+    (* the slice must actually shrink something: at least one TA
+       variant's sliced space is at most half the full one (the clock
+       activity and dead-variable passes are worth that much even
+       property-free) *)
+    let best =
+      List.fold_left
+        (fun acc (_, _, _, full_states, sliced_states) ->
+          Float.max acc
+            (float_of_int full_states /. float_of_int sliced_states))
+        0. ta_rows
+    in
+    if best < 2.0 then begin
+      Format.printf "FAILED: best TA slice ratio %.2f < 2.0@." best;
+      incr failures
+    end;
+    (* at least one sliced counterexample must have gone through the
+       certificate replay, or the replay check above checked nothing *)
+    if !replays = 0 then begin
+      Format.printf "FAILED: no sliced counterexample exercised the replay@.";
+      incr failures
+    end;
+    if !failures > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "slice-smoke"
+       ~doc:"Static-slicing gate: sliced (and sliced+reduced, sequential \
+             and 4-domain) explorations agree with the full ones on every \
+             requirement verdict for all six variants in both encodings, \
+             sliced counterexamples replay in the full models, and the \
+             slice measurably shrinks at least one state space.")
+    Term.(const run $ json_arg)
+
 let all_cmd =
   let run () =
     List.iter (print_variant_table ~fixed:false ~n:1) H.Ta_models.all_variants;
@@ -475,5 +690,6 @@ let () =
        (Cmd.group info
           [
             table1_cmd; table2_cmd; table_fixed_cmd; all_cmd; check_cmd;
-            pa_check_cmd; pa_smoke_cmd; cex_cmd; bounds_cmd; worst_cmd;
+            pa_check_cmd; pa_smoke_cmd; slice_smoke_cmd; cex_cmd; bounds_cmd;
+            worst_cmd;
           ]))

@@ -93,22 +93,30 @@ let monitors variant (p : Params.t) req :
       ]
 
 (* The lint pass's static state bound, as an [expected_states] table
-   pre-sizing hint for the explorer. *)
+   pre-sizing hint for the explorer.  Memoised on the spec term: sweeps
+   revisit the same spec for several requirements and engines. *)
 let expected_of spec =
-  match Lint.Pa.static_bound spec with
+  match Lint.Pa.static_bound_cached spec with
   | Lint.Interval.Finite n -> Some n
   | Lint.Interval.Unbounded -> None
 
-let check_verdict ?(max_states = default_max) ?(domains = 1) ?(reduce = false)
-    ?store ?workstealing ?budget ?degrade variant params req =
+let check_verdict ?(max_states = default_max) ?(domains = 1) ?(slice = false)
+    ?(reduce = false) ?store ?workstealing ?budget ?degrade variant params req
+    =
   let spec = Pa_models.build variant params in
   let sys = Proc.Semantics.system spec in
-  let expected_states = expected_of spec in
+  (* the slice never touches action labels, so the monitors and their
+     POR alphabets carry over unchanged; the pre-sizing hint and the
+     reduction are computed over the sliced spec (what is actually
+     explored) *)
+  let sspec = if slice then (Slice_pa.slice spec).Slice_pa.spec else spec in
+  let slice_sys = if slice then Some (Proc.Semantics.system sspec) else None in
+  let expected_states = expected_of sspec in
   (* reduction composes with domains > 1 through the parallel-safe
      proviso: each reduced system is built with [~par:true] and Safety
      is told not to force the sequential engine *)
   let par = domains > 1 in
-  let analysis = if reduce then Some (Por.analyze spec) else None in
+  let analysis = if reduce then Some (Por.analyze_cached sspec) else None in
   (* first non-Holds verdict wins; all monitors must hold for Holds *)
   let rec go = function
     | [] -> Mc.Safety.Holds
@@ -118,19 +126,19 @@ let check_verdict ?(max_states = default_max) ?(domains = 1) ?(reduce = false)
         in
         match
           Mc.Safety.check_monitor ~max_states ?expected_states ~domains
-            ?reduction ~parallel_reduction:par ?store ?workstealing ?budget
-            ?degrade sys monitor
+            ?slice:slice_sys ?reduction ~parallel_reduction:par ?store
+            ?workstealing ?budget ?degrade sys monitor
         with
         | Mc.Safety.Holds -> go rest
         | v -> v)
   in
   go (monitors variant params req)
 
-let check ?max_states ?domains ?reduce ?store ?workstealing variant params req
-    =
+let check ?max_states ?domains ?slice ?reduce ?store ?workstealing variant
+    params req =
   match
-    check_verdict ?max_states ?domains ?reduce ?store ?workstealing variant
-      params req
+    check_verdict ?max_states ?domains ?slice ?reduce ?store ?workstealing
+      variant params req
   with
   | Mc.Safety.Holds -> true
   | Mc.Safety.Violated _ -> false
@@ -145,9 +153,10 @@ let check ?max_states ?domains ?reduce ?store ?workstealing variant params req
         (Pa_models.variant_name variant)
         (Requirements.name req)
 
-let state_count ?(max_states = default_max) ?(domains = 1) ?(reduce = false)
-    ?store ?workstealing variant params =
+let state_count ?(max_states = default_max) ?(domains = 1) ?(slice = false)
+    ?(reduce = false) ?store ?workstealing variant params =
   let spec = Pa_models.build variant params in
+  let spec = if slice then (Slice_pa.slice spec).Slice_pa.spec else spec in
   let expected_states = expected_of spec in
   let parallel =
     domains > 1 || store <> None || workstealing <> None
@@ -155,7 +164,7 @@ let state_count ?(max_states = default_max) ?(domains = 1) ?(reduce = false)
   let count, complete =
     let sys =
       if reduce then
-        Por.reduced_system ~par:(domains > 1) (Por.analyze spec)
+        Por.reduced_system ~par:(domains > 1) (Por.analyze_cached spec)
       else Proc.Semantics.system spec
     in
     if parallel then
@@ -168,11 +177,13 @@ let state_count ?(max_states = default_max) ?(domains = 1) ?(reduce = false)
 
 type explore_stats = { states : int; transitions : int; complete : bool }
 
-let explore ?(max_states = default_max) ?(reduce = false) variant params =
+let explore ?(max_states = default_max) ?(slice = false) ?(reduce = false)
+    variant params =
   let spec = Pa_models.build variant params in
+  let spec = if slice then (Slice_pa.slice spec).Slice_pa.spec else spec in
   let expected_states = expected_of spec in
   let sys =
-    if reduce then Por.reduced_system (Por.analyze spec)
+    if reduce then Por.reduced_system (Por.analyze_cached spec)
     else Proc.Semantics.system spec
   in
   let space = Mc.Explore.space ~max_states ?expected_states sys in
@@ -183,32 +194,37 @@ let explore ?(max_states = default_max) ?(reduce = false) variant params =
   }
 
 let check_live ?(engine = Ltl.Check.Ndfs) ?(max_states = default_max)
-    ?(reduce = false) ?(domains = 1) ?store ?workstealing ?budget variant
-    params req =
+    ?(slice = false) ?(reduce = false) ?(domains = 1) ?store ?workstealing
+    ?budget variant params req =
   let spec = Pa_models.build variant params in
   let sys = Proc.Semantics.system spec in
+  let sspec = if slice then (Slice_pa.slice spec).Slice_pa.spec else spec in
+  let slice_sys = if slice then Some (Proc.Semantics.system sspec) else None in
   let reduction =
     if reduce then
-      let a = Por.analyze spec in
+      let a = Por.analyze_cached sspec in
       Some (fun ~alphabet -> Por.reduction ~par:(domains > 1) a ~alphabet)
     else None
   in
-  Ltl.Check.check ~engine ~fairness:Requirements.live_fairness_pa ?reduction
-    ~max_states ~domains ?store ?workstealing ?budget sys
+  Ltl.Check.check ~engine ~fairness:Requirements.live_fairness_pa
+    ?slice:slice_sys ?reduction ~max_states ~domains ?store ?workstealing
+    ?budget sys
     (Requirements.live_formula_pa variant params req)
 
 let check_live_run ?(engine = Ltl.Check.Ndfs) ?(max_states = default_max)
-    ?(reduce = false) ?(domains = 1) ?store ?workstealing ?budget ?checkpoint
-    ?resume variant params req =
+    ?(slice = false) ?(reduce = false) ?(domains = 1) ?store ?workstealing
+    ?budget ?checkpoint ?resume variant params req =
   let spec = Pa_models.build variant params in
   let sys = Proc.Semantics.system spec in
+  let sspec = if slice then (Slice_pa.slice spec).Slice_pa.spec else spec in
+  let slice_sys = if slice then Some (Proc.Semantics.system sspec) else None in
   let reduction =
     if reduce then
-      let a = Por.analyze spec in
+      let a = Por.analyze_cached sspec in
       Some (fun ~alphabet -> Por.reduction ~par:(domains > 1) a ~alphabet)
     else None
   in
   Ltl.Check.check_run ~engine ~fairness:Requirements.live_fairness_pa
-    ?reduction ~max_states ~domains ?store ?workstealing ?budget ?checkpoint
-    ?resume sys
+    ?slice:slice_sys ?reduction ~max_states ~domains ?store ?workstealing
+    ?budget ?checkpoint ?resume sys
     (Requirements.live_formula_pa variant params req)

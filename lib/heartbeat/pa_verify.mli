@@ -14,6 +14,7 @@
 val check_verdict :
   ?max_states:int ->
   ?domains:int ->
+  ?slice:bool ->
   ?reduce:bool ->
   ?store:Mc.Store.mode ->
   ?workstealing:bool ->
@@ -33,6 +34,7 @@ val check_verdict :
 val check :
   ?max_states:int ->
   ?domains:int ->
+  ?slice:bool ->
   ?reduce:bool ->
   ?store:Mc.Store.mode ->
   ?workstealing:bool ->
@@ -52,11 +54,19 @@ val check :
     and [workstealing] are forwarded to the engine ({!Mc.Safety}); a
     [true] result under a compressed store is probabilistic in the
     usual under-approximating sense.
+
+    [slice] (default false) first runs the property-directed static
+    slice ({!Slice.Pa}) over the spec and explores the sliced system
+    instead; action labels are never touched by the slice, so the
+    monitors, their POR alphabets, and the verdict carry over exactly.
+    The pre-sizing hint and (with [reduce]) the ample-set analysis are
+    computed over the sliced spec — the model actually explored.
     @raise Failure if the state bound (default 4 million) is exceeded. *)
 
 val state_count :
   ?max_states:int ->
   ?domains:int ->
+  ?slice:bool ->
   ?reduce:bool ->
   ?store:Mc.Store.mode ->
   ?workstealing:bool ->
@@ -72,7 +82,12 @@ val state_count :
 type explore_stats = { states : int; transitions : int; complete : bool }
 
 val explore :
-  ?max_states:int -> ?reduce:bool -> Pa_models.variant -> Params.t -> explore_stats
+  ?max_states:int ->
+  ?slice:bool ->
+  ?reduce:bool ->
+  Pa_models.variant ->
+  Params.t ->
+  explore_stats
 (** Reachable states and transitions.  With [reduce] the ample-set
     partial-order reduction ({!Por}) with an empty property alphabet is
     applied, so the counts are those of the reduced sub-structure;
@@ -82,6 +97,7 @@ val explore :
 val check_live :
   ?engine:Ltl.Check.engine ->
   ?max_states:int ->
+  ?slice:bool ->
   ?reduce:bool ->
   ?domains:int ->
   ?store:Mc.Store.mode ->
@@ -103,6 +119,7 @@ val check_live :
 val check_live_run :
   ?engine:Ltl.Check.engine ->
   ?max_states:int ->
+  ?slice:bool ->
   ?reduce:bool ->
   ?domains:int ->
   ?store:Mc.Store.mode ->

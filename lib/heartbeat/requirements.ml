@@ -74,6 +74,44 @@ let bad_state variant (p : Params.t) (net : Ta.Semantics.t) req =
       fun c ->
         lost c = 0 && p0_nv c && List.for_all (fun ok_j -> ok_j c) no_excuse
 
+(* The slicing seed mirrors [bad_state]: every variable and location a
+   requirement's predicate observes must survive the slice, so the
+   predicate can be built against the sliced net and the seeded clocks
+   keep exact values.  No clocks are observed by any requirement. *)
+let slice_seed variant (p : Params.t) req : Slice_ta.seed =
+  let ps = participants variant p in
+  let joining =
+    variant = Ta_models.Expanding || variant = Ta_models.Dynamic
+  in
+  let alive_locs j =
+    [ (Ta_models.p_name j, "VInact"); (Ta_models.p_name j, "NVInact") ]
+    @ if variant = Ta_models.Dynamic then [ (Ta_models.p_name j, "Left") ] else []
+  in
+  let excuse_vars =
+    if joining then List.map (fun j -> Printf.sprintf "jnd%d" j) ps else []
+  in
+  match req with
+  | R1 ->
+      {
+        Slice_ta.empty_seed with
+        Slice_ta.seed_locs =
+          List.map (fun i -> (Ta_models.monitor_name i, "Error")) ps;
+      }
+  | R2 ->
+      {
+        Slice_ta.seed_vars = "lost" :: excuse_vars;
+        seed_clocks = [];
+        seed_locs =
+          (Ta_models.p0_name, "Alive") :: List.concat_map alive_locs ps;
+      }
+  | R3 ->
+      {
+        Slice_ta.seed_vars = "lost" :: excuse_vars;
+        seed_clocks = [];
+        seed_locs =
+          (Ta_models.p0_name, "NVInact") :: List.concat_map alive_locs ps;
+      }
+
 (* ------------------------------------------------------------------ *)
 (* Liveness formulations                                               *)
 (* ------------------------------------------------------------------ *)

@@ -35,6 +35,13 @@ val bad_state :
     [compiled] network must have been built by {!Ta_models.build} for the
     same [variant] and [params] (and with monitors for R1). *)
 
+val slice_seed :
+  Ta_models.variant -> Params.t -> requirement -> Slice_ta.seed
+(** The slicing seed matching {!bad_state}: the variables and locations
+    the requirement's predicate observes, which {!Slice_ta.slice} must
+    keep so the predicate can be built against the sliced network.  No
+    requirement observes a clock. *)
+
 (** {2 Liveness formulations}
 
     Each requirement also has a {e liveness} reading, checked with the LTL

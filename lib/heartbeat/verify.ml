@@ -9,21 +9,43 @@ let default_max = 5_000_000
 
 (* The lint pass's static state bound, as an [expected_states] table
    pre-sizing hint for the explorer.  [None] (bound saturated or model
-   truly unbounded) falls back to the engine's default growth. *)
+   truly unbounded) falls back to the engine's default growth.  The
+   bound is memoised on the model term: sweeps revisit the same model
+   for several requirements and parameters. *)
 let expected_of model =
-  match Lint.Ta_model.static_bound model with
+  match Lint.Ta_model.static_bound_cached model with
   | Lint.Interval.Finite n -> Some n
   | Lint.Interval.Unbounded -> None
 
-let check ?(fixed = false) ?(max_states = default_max) ?(domains = 1) ?store
-    ?workstealing ?budget ?degrade variant params req =
+let card_to_expected = function
+  | Lint.Interval.Finite n -> Some n
+  | Lint.Interval.Unbounded -> None
+
+(* Slice the model against the requirement's seed.  The returned triple
+   is (sliced system to explore, bad predicate over it, pre-sizing hint
+   from the activity-aware post-slice bound). *)
+let sliced_parts variant params req model =
+  let seed = Requirements.slice_seed variant params req in
+  let sl = Slice_ta.slice ~seed model in
+  let snet = Ta.Semantics.compile sl.Slice_ta.model in
+  let bad = Requirements.bad_state variant params snet req in
+  (Slice_ta.system sl snet, bad, card_to_expected sl.Slice_ta.expected)
+
+let check ?(fixed = false) ?(max_states = default_max) ?(domains = 1)
+    ?(slice = false) ?store ?workstealing ?budget ?degrade variant params req =
   let with_r1_monitors = Requirements.needs_monitors req in
   let model = Ta_models.build ~fixed ~with_r1_monitors variant params in
   let net = Ta.Semantics.compile model in
-  let bad = Requirements.bad_state variant params net req in
+  let slice_sys, bad, expected_states =
+    if slice then
+      let sys, bad, expected = sliced_parts variant params req model in
+      (Some sys, bad, expected)
+    else
+      (None, Requirements.bad_state variant params net req, expected_of model)
+  in
   match
-    Mc.Safety.check_state ~max_states ?expected_states:(expected_of model)
-      ~domains ?store ?workstealing ?budget ?degrade
+    Mc.Safety.check_state ~max_states ?expected_states ~domains
+      ?slice:slice_sys ?store ?workstealing ?budget ?degrade
       (Ta.Semantics.system net) bad
   with
   | Mc.Safety.Holds ->
@@ -54,23 +76,33 @@ let check ?(fixed = false) ?(max_states = default_max) ?(domains = 1) ?store
         (Ta_models.variant_name variant)
         (Requirements.name req) Params.pp params
 
+(* The liveness formulas are pure label properties, so the slicing seed
+   is empty: the pass keeps every guard (labels must be exact) and wins
+   through dead writes, constant folding and clock activity alone. *)
+let live_slice model =
+  let sl = Slice_ta.slice model in
+  Slice_ta.system sl (Ta.Semantics.compile sl.Slice_ta.model)
+
 let check_live ?(fixed = false) ?(engine = Ltl.Check.Ndfs)
-    ?(max_states = default_max) ?domains ?store ?workstealing ?budget variant
-    params req =
+    ?(max_states = default_max) ?(slice = false) ?domains ?store ?workstealing
+    ?budget variant params req =
   let model = Ta_models.build ~fixed variant params in
   let net = Ta.Semantics.compile model in
-  Ltl.Check.check ~engine ~fairness:Requirements.live_fairness ~max_states
-    ?domains ?store ?workstealing ?budget
+  let slice_sys = if slice then Some (live_slice model) else None in
+  Ltl.Check.check ~engine ~fairness:Requirements.live_fairness ?slice:slice_sys
+    ~max_states ?domains ?store ?workstealing ?budget
     (Ta.Semantics.system net)
     (Requirements.live_formula variant params req)
 
 let check_live_run ?(fixed = false) ?(engine = Ltl.Check.Ndfs)
-    ?(max_states = default_max) ?domains ?store ?workstealing ?budget
-    ?checkpoint ?resume variant params req =
+    ?(max_states = default_max) ?(slice = false) ?domains ?store ?workstealing
+    ?budget ?checkpoint ?resume variant params req =
   let model = Ta_models.build ~fixed variant params in
   let net = Ta.Semantics.compile model in
-  Ltl.Check.check_run ~engine ~fairness:Requirements.live_fairness ~max_states
-    ?domains ?store ?workstealing ?budget ?checkpoint ?resume
+  let slice_sys = if slice then Some (live_slice model) else None in
+  Ltl.Check.check_run ~engine ~fairness:Requirements.live_fairness
+    ?slice:slice_sys ~max_states ?domains ?store ?workstealing ?budget
+    ?checkpoint ?resume
     (Ta.Semantics.system net)
     (Requirements.live_formula variant params req)
 
@@ -119,12 +151,13 @@ let worst_detection ?(fixed = false) ?(max_states = default_max)
 type row = { tmin : int; tmax : int; r1 : bool; r2 : bool; r3 : bool }
 
 let table ?(fixed = false) ?(n = 1) ?(datasets = Params.table_datasets)
-    ?(domains = 1) ?store ?workstealing variant =
+    ?(domains = 1) ?slice ?store ?workstealing variant =
   List.map
     (fun (tmin, tmax) ->
       let params = Params.make ~n ~tmin ~tmax () in
       let outcome req =
-        (check ~fixed ~domains ?store ?workstealing variant params req).holds
+        (check ~fixed ~domains ?slice ?store ?workstealing variant params req)
+          .holds
       in
       {
         tmin;

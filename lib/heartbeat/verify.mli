@@ -20,6 +20,7 @@ val check :
   ?fixed:bool ->
   ?max_states:int ->
   ?domains:int ->
+  ?slice:bool ->
   ?store:Mc.Store.mode ->
   ?workstealing:bool ->
   ?budget:Mc.Budget.t ->
@@ -34,6 +35,14 @@ val check :
     [store] and [workstealing] are forwarded to {!Mc.Safety}: a
     compressed store makes [holds = true] probabilistic (omitted states
     are never explored), while violations found are always real.
+    [slice] (default false) first slices the model against the
+    requirement's property seed ({!Requirements.slice_seed}, the
+    [slice] library): irrelevant variables and clocks are projected
+    out, constants folded, and per-location inactive clocks zeroed.
+    The verdict is unchanged (the slice is an exact label-preserving
+    projection) and the counterexample trace replays in the full model
+    ({!Slice.replay}); the explorer pre-sizing then uses the
+    activity-aware post-slice bound.
     [budget] bounds the run by wall clock / live heap; a trip is
     reported in [outcome.exhausted] rather than raising, and with
     [degrade] (default [true]) memory trips first walk the store down
@@ -44,6 +53,7 @@ val check_live :
   ?fixed:bool ->
   ?engine:Ltl.Check.engine ->
   ?max_states:int ->
+  ?slice:bool ->
   ?domains:int ->
   ?store:Mc.Store.mode ->
   ?workstealing:bool ->
@@ -63,6 +73,7 @@ val check_live_run :
   ?fixed:bool ->
   ?engine:Ltl.Check.engine ->
   ?max_states:int ->
+  ?slice:bool ->
   ?domains:int ->
   ?store:Mc.Store.mode ->
   ?workstealing:bool ->
@@ -96,6 +107,7 @@ val table :
   ?n:int ->
   ?datasets:(int * int) list ->
   ?domains:int ->
+  ?slice:bool ->
   ?store:Mc.Store.mode ->
   ?workstealing:bool ->
   Ta_models.variant ->

@@ -9,3 +9,4 @@ module Report = Lint_report
 module Types = Lint_types
 module Pa = Lint_pa
 module Ta_model = Lint_ta
+module Memo = Lint_memo

@@ -1,0 +1,66 @@
+(* Structural memoisation for the static analyses.
+
+   Verification sweeps (tables, campaigns, benchmarks) rebuild the same
+   model at many parameter points and re-run the same analysis on each
+   cell: the three requirements of one table cell share a spec, and the
+   R2/R3 timed-automata models coincide.  The analyses are pure
+   functions of the model term, and both DSLs are closed first-order
+   data, so structural equality of the input is exactly the right cache
+   key.
+
+   The cache is a bounded most-recent-first association list: sweeps
+   revisit a handful of models in tight succession, so a small window
+   with O(window) structural comparisons beats hashing the whole model
+   term on every call.  A mutex keeps the counters and the window sound
+   if a parallel engine ever consults an analysis from a worker domain
+   (today all analyses run on the main domain before workers spawn). *)
+
+type ('k, 'v) t = {
+  mutable entries : ('k * 'v) list; (* most recent first *)
+  cap : int;
+  mutable lookups : int;
+  mutable hits : int;
+  lock : Mutex.t;
+}
+
+let create ?(cap = 16) () =
+  { entries = []; cap; lookups = 0; hits = 0; lock = Mutex.create () }
+
+let take n xs =
+  let rec go n = function
+    | x :: rest when n > 0 -> x :: go (n - 1) rest
+    | _ -> []
+  in
+  go n xs
+
+(* [find t k compute] returns the cached value for [k], computing and
+   interning it on a miss.  [compute] runs outside the lock: analyses
+   are slow and reentrant lookups (an analysis using another memoised
+   analysis) must not deadlock.  A racing duplicate computation is
+   harmless — both results are equal, the later one wins the window. *)
+let find t key compute =
+  let cached =
+    Mutex.protect t.lock (fun () ->
+        t.lookups <- t.lookups + 1;
+        match List.assoc_opt key t.entries with
+        | Some v ->
+            t.hits <- t.hits + 1;
+            Some v
+        | None -> None)
+  in
+  match cached with
+  | Some v -> v
+  | None ->
+      let v = compute key in
+      Mutex.protect t.lock (fun () ->
+          if not (List.mem_assoc key t.entries) then
+            t.entries <- take t.cap ((key, v) :: t.entries));
+      v
+
+let stats t = Mutex.protect t.lock (fun () -> (t.lookups, t.hits))
+
+let reset t =
+  Mutex.protect t.lock (fun () ->
+      t.entries <- [];
+      t.lookups <- 0;
+      t.hits <- 0)

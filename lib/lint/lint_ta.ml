@@ -772,6 +772,13 @@ let state_bound (m : M.t) (d : decls) reach globals : I.card =
 
 (* Range analysis + state bound only: what {!Heartbeat.Verify} calls to
    pre-size the explorer tables without paying for diagnostics. *)
+(* Declarations plus the final variable intervals: the slicer's
+   constant-folding pass consumes these directly (a variable whose
+   interval is a singleton is provably constant). *)
+let intervals_of (m : M.t) : decls * I.t SMap.t =
+  let d, _ = build_decls m in
+  (d, fixpoint m d (model_thresholds m))
+
 let static_bound (m : M.t) : I.card =
   let d, _ = build_decls m in
   let reach =
@@ -782,6 +789,13 @@ let static_bound (m : M.t) : I.card =
   in
   let globals = fixpoint m d (model_thresholds m) in
   state_bound m d reach globals
+
+(* Memoised on the model term, for sweeps that rebuild the same model
+   at the same parameters for several requirements (the R2/R3 models
+   coincide; R1 adds the watchdogs). *)
+let bound_memo : (M.t, I.card) Lint_memo.t = Lint_memo.create ()
+let static_bound_cached m = Lint_memo.find bound_memo m static_bound
+let cache_stats () = Lint_memo.stats bound_memo
 
 let analyze ~model (m : M.t) : R.t =
   let d, dup_diags = build_decls m in

@@ -373,9 +373,13 @@ let scc_emptiness (type p m) ?(domains = 1) ?(store = Mc.Store.Exact)
 (* Top level                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let check_run ?(engine = Ndfs) ?(stutter = Extend) ?(fairness = []) ?reduction
-    ?(max_states = Mc.Explore.default_max) ?domains ?store ?workstealing
-    ?budget ?checkpoint ?resume sys f =
+let check_run ?(engine = Ndfs) ?(stutter = Extend) ?(fairness = []) ?slice
+    ?reduction ?(max_states = Mc.Explore.default_max) ?domains ?store
+    ?workstealing ?budget ?checkpoint ?resume sys f =
+  (* a slice replaces the base system before the reduction callback is
+     consulted: the reduction, when also given, was built over the
+     sliced model upstream *)
+  let sys = Option.value slice ~default:sys in
   (match engine with
   | Scc -> ()
   | Ndfs ->
@@ -428,11 +432,11 @@ let check_run ?(engine = Ndfs) ?(stutter = Extend) ?(fairness = []) ?reduction
            })
   | SSusp (reason, cursor) -> Suspended (reason, cursor)
 
-let check ?engine ?stutter ?fairness ?reduction ?max_states ?domains ?store
-    ?workstealing ?budget sys f =
+let check ?engine ?stutter ?fairness ?slice ?reduction ?max_states ?domains
+    ?store ?workstealing ?budget sys f =
   match
-    check_run ?engine ?stutter ?fairness ?reduction ?max_states ?domains
-      ?store ?workstealing ?budget sys f
+    check_run ?engine ?stutter ?fairness ?slice ?reduction ?max_states
+      ?domains ?store ?workstealing ?budget sys f
   with
   | Concluded v -> v
   | Suspended (reason, cursor) ->

@@ -88,6 +88,7 @@ val check :
   ?engine:engine ->
   ?stutter:stutter_policy ->
   ?fairness:'l fairness list ->
+  ?slice:('s, 'l) Mc.System.t ->
   ?reduction:(alphabet:string list -> ('s, 'l) Mc.System.t option) ->
   ?max_states:int ->
   ?domains:int ->
@@ -100,6 +101,13 @@ val check :
 (** [check sys f] — defaults: {!Ndfs}, {!Extend}, no fairness,
     [max_states = Mc.Explore.default_max] (bounding the number of distinct
     product states explored).
+
+    [slice] (default none) is a property-preserving reduced system
+    explored in place of [sys]; the caller guarantees it is an exact
+    label-preserving projection for this formula's alphabet (see the
+    [slice] library).  It replaces the base system {e before} the
+    [reduction] callback is consulted, so the two compose: pass a
+    reduction built over the sliced model.
 
     [reduction] (default none) offers a partial-order-reduced
     replacement for [sys] — typically [Por.reduction] partially
@@ -134,6 +142,7 @@ val check_run :
   ?engine:engine ->
   ?stutter:stutter_policy ->
   ?fairness:'l fairness list ->
+  ?slice:('s, 'l) Mc.System.t ->
   ?reduction:(alphabet:string list -> ('s, 'l) Mc.System.t option) ->
   ?max_states:int ->
   ?domains:int ->

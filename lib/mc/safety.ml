@@ -51,9 +51,13 @@ let of_find_verdict = function
   | Explore.Bound_hit n -> Unknown n
   | Explore.Exhausted e -> Exhausted e
 
-let check_monitor (type s l) ?max_states ?expected_states ?domains ?reduction
-    ?(parallel_reduction = false) ?store ?workstealing ?budget ?degrade
-    (sys : (s, l) System.t) (m : l Monitor.t) : l verdict =
+let check_monitor (type s l) ?max_states ?expected_states ?domains ?slice
+    ?reduction ?(parallel_reduction = false) ?store ?workstealing ?budget
+    ?degrade (sys : (s, l) System.t) (m : l Monitor.t) : l verdict =
+  (* A slice replaces the base system before the reduction is consulted:
+     a reduction, when also given, was built over the sliced model
+     upstream and wins. *)
+  let sys = Option.value slice ~default:sys in
   let sys, domains = apply_reduction reduction ~parallel_reduction domains sys in
   let prod = product sys m in
   of_find_verdict
@@ -62,15 +66,16 @@ let check_monitor (type s l) ?max_states ?expected_states ?domains ?reduction
        ~goal:(fun (_, q) -> m.Monitor.accepting q)
        prod)
 
-let check_forbidden ?max_states ?expected_states ?domains ?reduction
+let check_forbidden ?max_states ?expected_states ?domains ?slice ?reduction
     ?parallel_reduction ?store ?workstealing ?budget ?degrade sys r =
-  check_monitor ?max_states ?expected_states ?domains ?reduction
+  check_monitor ?max_states ?expected_states ?domains ?slice ?reduction
     ?parallel_reduction ?store ?workstealing ?budget ?degrade sys
     (Regex.compile r)
 
-let check_state (type s l) ?max_states ?expected_states ?domains ?reduction
-    ?(parallel_reduction = false) ?store ?workstealing ?budget ?degrade
-    (sys : (s, l) System.t) bad : l verdict =
+let check_state (type s l) ?max_states ?expected_states ?domains ?slice
+    ?reduction ?(parallel_reduction = false) ?store ?workstealing ?budget
+    ?degrade (sys : (s, l) System.t) bad : l verdict =
+  let sys = Option.value slice ~default:sys in
   let sys, domains = apply_reduction reduction ~parallel_reduction domains sys in
   of_find_verdict
     (run_find ?max_states ?expected_states ?domains ?store ?workstealing

@@ -21,6 +21,7 @@ val check_monitor :
   ?max_states:int ->
   ?expected_states:int ->
   ?domains:int ->
+  ?slice:('s, 'l) System.t ->
   ?reduction:('s, 'l) System.t ->
   ?parallel_reduction:bool ->
   ?store:Store.mode ->
@@ -59,6 +60,14 @@ val check_monitor :
     the bottom — the run then completes with a probabilistic verdict
     instead of dying.
 
+    [slice], when given, is a property-preserving reduced model explored
+    {e in place of} [sys] (the caller guarantees it is an exact
+    label-preserving projection for this monitor — see the [slice]
+    library).  It replaces the base system {e before} [reduction] is
+    consulted: pass a [reduction] built over the sliced model to
+    compose the two.  Unlike [reduction], a slice is an ordinary
+    stateless system, so it composes with any [domains] and [store].
+
     [reduction], when given, is explored {e in place of} [sys].  The
     caller guarantees it is a sound reduction of [sys] for this
     monitor's alphabet (e.g. [Por.reduced_system ~alphabet] over the
@@ -78,6 +87,7 @@ val check_forbidden :
   ?max_states:int ->
   ?expected_states:int ->
   ?domains:int ->
+  ?slice:('s, 'l) System.t ->
   ?reduction:('s, 'l) System.t ->
   ?parallel_reduction:bool ->
   ?store:Store.mode ->
@@ -94,6 +104,7 @@ val check_state :
   ?max_states:int ->
   ?expected_states:int ->
   ?domains:int ->
+  ?slice:('s, 'l) System.t ->
   ?reduction:('s, 'l) System.t ->
   ?parallel_reduction:bool ->
   ?store:Store.mode ->

@@ -259,6 +259,13 @@ let analyze spec =
   let zeno_suspects = compute_zeno_suspects compiled spec defs alphabets in
   { compiled; defs; names; alphabets; offerer_tbl; zeno_suspects }
 
+(* The analysis is a pure function of the spec term, so verification
+   sweeps that revisit the same spec (table cells, smoke matrices) can
+   share one result.  See [Lint_memo] for the cache discipline. *)
+let memo : (Proc.Spec.t, analysis) Lint_memo.t = Lint_memo.create ()
+let analyze_cached spec = Lint_memo.find memo spec analyze
+let cache_stats () = Lint_memo.stats memo
+
 let zeno_free a = a.zeno_suspects = []
 let zeno_suspects a = a.zeno_suspects
 

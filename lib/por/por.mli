@@ -42,6 +42,15 @@ val analyze : Proc.Spec.t -> analysis
     offer it.
     @raise Invalid_argument if {!Proc.Spec.validate} rejects the spec. *)
 
+val analyze_cached : Proc.Spec.t -> analysis
+(** Like {!analyze}, memoised on the spec term (structural equality):
+    table sweeps and smoke matrices that revisit the same spec share
+    one analysis.  Safe because the analysis is a pure function of the
+    spec. *)
+
+val cache_stats : unit -> int * int
+(** [(lookups, hits)] of the {!analyze_cached} memo since start-up. *)
+
 val compiled : analysis -> Proc.Semantics.compiled
 val component_names : analysis -> string array
 

@@ -1,0 +1,502 @@
+(* Property-driven slicing of process-algebra specifications.
+
+   The PA state is the vector of component terms with their data
+   parameters, so the lever here is the {e data}: definition parameters
+   that are provably constant are folded into the bodies, and
+   parameters that no label or branch ever (transitively) depends on
+   are dropped from signatures and call sites.  Action labels — the
+   only thing monitors, LTL formulas and the POR visibility condition
+   observe — are never altered: act names and act argument expressions
+   are preserved (modulo constant folding, which never changes a
+   value).  The sliced system is therefore trace-equivalent to the
+   full one over labels, for any property; there is no seed.
+
+   Pipeline:
+   1. prune definitions unreachable from the initial components (the
+      {!Lint_pa.reachable_from} call-graph walk, shared with [Por]);
+   2. interprocedural constant propagation: a parameter is [Cst v] when
+      every call site (including the initial instantiation) passes an
+      expression that partially evaluates to the same literal [v];
+      statically-dead [Cond] branches do not contribute call sites;
+   3. fold [Cst] parameters: substitute the constant into the body
+      (respecting [Sum] shadowing), drop the parameter and every
+      call-site argument at its position;
+   4. constant-fold expressions and prune [Cond]s whose condition
+      folded to a literal;
+   5. dead-parameter elimination: a parameter is needed iff it is free
+      in a [Cond] condition, an action argument, or an argument
+      expression feeding a {e needed} parameter of a callee (backward
+      fixpoint over the call graph); unneeded parameters and their
+      arguments are dropped — two states differing only in dead data
+      collapse into one;
+   6. final reachability prune, and a {!Proc.Spec.validate} sanity
+      check on the result.
+
+   Dropping a call-site argument also drops any run-time failure its
+   evaluation could raise (e.g. an out-of-range [Nth]); the shipped
+   models have no such partial arguments, and the qcheck generators do
+   not produce them. *)
+
+module P = Proc.Pexpr
+module T = Proc.Term
+module S = Proc.Spec
+module V = Proc.Value
+module R = Lint_report
+module SSet = Set.Make (String)
+module SMap = Map.Make (String)
+
+type t = {
+  spec : S.t;
+  dropped_defs : string list;
+  folded_params : (string * string * V.t) list; (* def, param, value *)
+  dropped_params : (string * string) list; (* def, param *)
+}
+
+(* --- expression helpers ------------------------------------------------- *)
+
+let rec fv acc (e : P.t) =
+  match e with
+  | P.Const _ -> acc
+  | P.Var x -> SSet.add x acc
+  | P.Add (a, b) | P.Sub (a, b) | P.Mul (a, b) | P.Div (a, b)
+  | P.Eq (a, b) | P.Lt (a, b) | P.Le (a, b) | P.And (a, b) | P.Or (a, b)
+  | P.Nth (a, b) | P.Repl (a, b) ->
+      fv (fv acc a) b
+  | P.Not a | P.Min_list a | P.Len a -> fv acc a
+  | P.If (a, b, c) | P.Set_nth (a, b, c) -> fv (fv (fv acc a) b) c
+
+let rec subst_pexpr (env : V.t SMap.t) (e : P.t) : P.t =
+  let s = subst_pexpr env in
+  match e with
+  | P.Const _ -> e
+  | P.Var x -> (
+      match SMap.find_opt x env with Some v -> P.Const v | None -> e)
+  | P.Add (a, b) -> P.Add (s a, s b)
+  | P.Sub (a, b) -> P.Sub (s a, s b)
+  | P.Mul (a, b) -> P.Mul (s a, s b)
+  | P.Div (a, b) -> P.Div (s a, s b)
+  | P.Eq (a, b) -> P.Eq (s a, s b)
+  | P.Lt (a, b) -> P.Lt (s a, s b)
+  | P.Le (a, b) -> P.Le (s a, s b)
+  | P.And (a, b) -> P.And (s a, s b)
+  | P.Or (a, b) -> P.Or (s a, s b)
+  | P.Not a -> P.Not (s a)
+  | P.If (a, b, c) -> P.If (s a, s b, s c)
+  | P.Nth (a, b) -> P.Nth (s a, s b)
+  | P.Set_nth (a, b, c) -> P.Set_nth (s a, s b, s c)
+  | P.Min_list a -> P.Min_list (s a)
+  | P.Len a -> P.Len (s a)
+  | P.Repl (a, b) -> P.Repl (s a, s b)
+
+let rec fold_pexpr (e : P.t) : P.t =
+  let f = fold_pexpr in
+  let e =
+    match e with
+    | P.Const _ | P.Var _ -> e
+    | P.Add (a, b) -> P.Add (f a, f b)
+    | P.Sub (a, b) -> P.Sub (f a, f b)
+    | P.Mul (a, b) -> P.Mul (f a, f b)
+    | P.Div (a, b) -> P.Div (f a, f b)
+    | P.Eq (a, b) -> P.Eq (f a, f b)
+    | P.Lt (a, b) -> P.Lt (f a, f b)
+    | P.Le (a, b) -> P.Le (f a, f b)
+    | P.And (a, b) -> P.And (f a, f b)
+    | P.Or (a, b) -> P.Or (f a, f b)
+    | P.Not a -> P.Not (f a)
+    | P.If (a, b, c) -> (
+        match f a with
+        | P.Const (V.Bool true) -> f b
+        | P.Const (V.Bool false) -> f c
+        | a -> P.If (a, f b, f c))
+    | P.Nth (a, b) -> P.Nth (f a, f b)
+    | P.Set_nth (a, b, c) -> P.Set_nth (f a, f b, f c)
+    | P.Min_list a -> P.Min_list (f a)
+    | P.Len a -> P.Len (f a)
+    | P.Repl (a, b) -> P.Repl (f a, f b)
+  in
+  match e with
+  | P.Const _ -> e
+  | _ ->
+      if SSet.is_empty (fv SSet.empty e) then
+        match (try Some (P.eval [] e) with Invalid_argument _ -> None) with
+        | Some v -> P.Const v
+        | None -> e
+      else e
+
+let rec subst_term (env : V.t SMap.t) (t : T.t) : T.t =
+  match t with
+  | T.Nil -> T.Nil
+  | T.Prefix (a, p) ->
+      T.Prefix
+        ( { a with T.act_args = List.map (subst_pexpr env) a.T.act_args },
+          subst_term env p )
+  | T.Choice ps -> T.Choice (List.map (subst_term env) ps)
+  | T.Sum (x, lo, hi, p) ->
+      (* the sum binder shadows any outer constant of the same name *)
+      T.Sum (x, lo, hi, subst_term (SMap.remove x env) p)
+  | T.Cond (c, p, q) ->
+      T.Cond (subst_pexpr env c, subst_term env p, subst_term env q)
+  | T.Call (f, args) -> T.Call (f, List.map (subst_pexpr env) args)
+
+let rec fold_term (t : T.t) : T.t =
+  match t with
+  | T.Nil -> T.Nil
+  | T.Prefix (a, p) ->
+      T.Prefix
+        ({ a with T.act_args = List.map fold_pexpr a.T.act_args }, fold_term p)
+  | T.Choice ps -> T.Choice (List.map fold_term ps)
+  | T.Sum (x, lo, hi, p) -> T.Sum (x, lo, hi, fold_term p)
+  | T.Cond (c, p, q) -> (
+      match fold_pexpr c with
+      | P.Const (V.Bool true) -> fold_term p
+      | P.Const (V.Bool false) -> fold_term q
+      | c -> T.Cond (c, fold_term p, fold_term q))
+  | T.Call (f, args) -> T.Call (f, List.map fold_pexpr args)
+
+(* --- constant propagation ----------------------------------------------- *)
+
+type cst = Cst of V.t | Any
+
+let join_cst a b =
+  match (a, b) with
+  | Cst x, Cst y when V.equal x y -> a
+  | _ -> Any
+
+(* Flow literal arguments from every (statically live) call site into
+   the callee's parameter lattice.  [bindings] holds the enclosing
+   definition's already-known constant parameters; sum binders shadow
+   them. *)
+let propagate_constants (defs : T.def SMap.t) (init : (string * V.t list) list)
+    : cst array SMap.t =
+  let state =
+    SMap.map (fun (d : T.def) -> Array.make (List.length d.T.params) Any) defs
+  in
+  (* seed: parameters start optimistically unknown (no constraint); we
+     represent "no call site seen yet" as a separate option layer *)
+  let state =
+    SMap.map (fun arr -> Array.map (fun _ -> (None : cst option)) arr) state
+  in
+  let flow name (args : cst list) =
+    match SMap.find_opt name state with
+    | None -> ()
+    | Some arr ->
+        List.iteri
+          (fun i a ->
+            if i < Array.length arr then
+              arr.(i) <-
+                (match arr.(i) with
+                | None -> Some a
+                | Some prev -> Some (join_cst prev a)))
+          args
+  in
+  let eval_arg bindings shadowed (e : P.t) : cst =
+    let free = fv SSet.empty e in
+    if
+      SSet.exists (fun x -> SSet.mem x shadowed) free
+      || not (SSet.for_all (fun x -> SMap.mem x bindings) free)
+    then Any
+    else
+      let env = SMap.bindings bindings in
+      match (try Some (P.eval env e) with Invalid_argument _ -> None) with
+      | Some v -> Cst v
+      | None -> Any
+  in
+  let rec walk bindings shadowed (t : T.t) =
+    match t with
+    | T.Nil -> ()
+    | T.Prefix (_, p) -> walk bindings shadowed p
+    | T.Choice ps -> List.iter (walk bindings shadowed) ps
+    | T.Sum (x, _, _, p) ->
+        walk (SMap.remove x bindings) (SSet.add x shadowed) p
+    | T.Cond (c, p, q) -> (
+        (* skip statically-dead branches so they contribute no call
+           sites *)
+        match eval_arg bindings shadowed c with
+        | Cst (V.Bool true) -> walk bindings shadowed p
+        | Cst (V.Bool false) -> walk bindings shadowed q
+        | _ ->
+            walk bindings shadowed p;
+            walk bindings shadowed q)
+    | T.Call (f, args) ->
+        flow f (List.map (eval_arg bindings shadowed) args)
+  in
+  let snapshot () =
+    SMap.map (fun arr -> Array.copy arr) state
+  in
+  let equal_state a b =
+    SMap.for_all
+      (fun name arr ->
+        match SMap.find_opt name b with
+        | None -> false
+        | Some arr' ->
+            Array.for_all2
+              (fun x y ->
+                match (x, y) with
+                | None, None -> true
+                | Some p, Some q -> (
+                    match (p, q) with
+                    | Any, Any -> true
+                    | Cst u, Cst v -> V.equal u v
+                    | _ -> false)
+                | _ -> false)
+              arr arr')
+      a
+  in
+  List.iter (fun (name, vals) -> flow name (List.map (fun v -> Cst v) vals)) init;
+  let rec iterate () =
+    let before = snapshot () in
+    SMap.iter
+      (fun _ (d : T.def) ->
+        let arr = SMap.find d.T.def_name state in
+        let bindings =
+          List.fold_left
+            (fun (acc, i) p ->
+              match arr.(i) with
+              | Some (Cst v) -> (SMap.add p v acc, i + 1)
+              | _ -> (acc, i + 1))
+            (SMap.empty, 0) d.T.params
+          |> fst
+        in
+        walk bindings SSet.empty d.T.body)
+      defs;
+    if not (equal_state before state) then iterate ()
+  in
+  iterate ();
+  SMap.map
+    (fun arr ->
+      Array.map (function Some c -> c | None -> Any) arr)
+    state
+
+(* --- positional argument dropping --------------------------------------- *)
+
+(* [keep] maps a definition name to a bool per parameter position;
+   rewrite every call site (and the init list) to the kept positions. *)
+let filter_positions keep xs =
+  List.filteri (fun i _ -> i >= Array.length keep || keep.(i)) xs
+
+let rec drop_args (keeps : bool array SMap.t) (t : T.t) : T.t =
+  match t with
+  | T.Nil -> T.Nil
+  | T.Prefix (a, p) -> T.Prefix (a, drop_args keeps p)
+  | T.Choice ps -> T.Choice (List.map (drop_args keeps) ps)
+  | T.Sum (x, lo, hi, p) -> T.Sum (x, lo, hi, drop_args keeps p)
+  | T.Cond (c, p, q) -> T.Cond (c, drop_args keeps p, drop_args keeps q)
+  | T.Call (f, args) ->
+      let args =
+        match SMap.find_opt f keeps with
+        | Some keep -> filter_positions keep args
+        | None -> args
+      in
+      T.Call (f, args)
+
+(* --- dead parameters ----------------------------------------------------- *)
+
+(* A parameter is needed iff it can reach a label or a branch: free in a
+   Cond condition, free in an action argument, or free in an argument
+   expression feeding a needed parameter of the callee. *)
+let needed_params (defs : T.def SMap.t) : SSet.t SMap.t =
+  let needed = ref (SMap.map (fun _ -> SSet.empty) defs) in
+  let need_of f =
+    Option.value (SMap.find_opt f !needed) ~default:SSet.empty
+  in
+  let changed = ref true in
+  let add def xs =
+    let cur = need_of def in
+    let next = SSet.union cur xs in
+    if not (SSet.equal cur next) then begin
+      needed := SMap.add def next !needed;
+      changed := true
+    end
+  in
+  let rec walk def params shadowed (t : T.t) =
+    let live acc e = SSet.diff (SSet.inter (fv SSet.empty e) params) shadowed |> SSet.union acc in
+    match t with
+    | T.Nil -> ()
+    | T.Prefix (a, p) ->
+        add def (List.fold_left live SSet.empty a.T.act_args);
+        walk def params shadowed p
+    | T.Choice ps -> List.iter (walk def params shadowed) ps
+    | T.Sum (x, _, _, p) -> walk def params (SSet.add x shadowed) p
+    | T.Cond (c, p, q) ->
+        add def (live SSet.empty c);
+        walk def params shadowed p;
+        walk def params shadowed q
+    | T.Call (f, args) ->
+        let callee_needed = need_of f in
+        let callee_params =
+          match SMap.find_opt f defs with
+          | Some d -> d.T.params
+          | None -> []
+        in
+        List.iteri
+          (fun i arg ->
+            match List.nth_opt callee_params i with
+            | Some p when SSet.mem p callee_needed ->
+                add def (live SSet.empty arg)
+            | _ -> ())
+          args
+  in
+  while !changed do
+    changed := false;
+    SMap.iter
+      (fun _ (d : T.def) ->
+        walk d.T.def_name (SSet.of_list d.T.params) SSet.empty d.T.body)
+      defs
+  done;
+  !needed
+
+(* --- the pass ----------------------------------------------------------- *)
+
+let def_map (defs : T.def list) =
+  List.fold_left
+    (fun acc (d : T.def) -> SMap.add d.T.def_name d acc)
+    SMap.empty defs
+
+let prune_defs (spec : S.t) : S.t * string list =
+  let defs = Lint_pa.def_table spec in
+  let roots = List.map fst spec.S.init in
+  let reach = Lint_pa.reachable_from defs roots in
+  let kept, dropped =
+    List.partition (fun (d : T.def) -> SSet.mem d.T.def_name reach) spec.S.defs
+  in
+  ( { spec with S.defs = kept },
+    List.map (fun (d : T.def) -> d.T.def_name) dropped )
+
+let slice (spec : S.t) : t =
+  let spec, dropped0 = prune_defs spec in
+  let defs = def_map spec.S.defs in
+  (* 2-3. constant parameters *)
+  let csts = propagate_constants defs spec.S.init in
+  let folded_params =
+    SMap.fold
+      (fun name arr acc ->
+        match SMap.find_opt name defs with
+        | None -> acc
+        | Some d ->
+            List.fold_left
+              (fun (acc, i) p ->
+                match arr.(i) with
+                | Cst v -> ((name, p, v) :: acc, i + 1)
+                | Any -> (acc, i + 1))
+              (acc, 0) d.T.params
+            |> fst)
+      csts []
+    |> List.rev
+  in
+  let keeps_cst =
+    SMap.mapi
+      (fun _name arr -> Array.map (function Cst _ -> false | Any -> true) arr)
+      csts
+  in
+  let spec =
+    {
+      spec with
+      S.defs =
+        List.map
+          (fun (d : T.def) ->
+            let arr = SMap.find d.T.def_name csts in
+            let env =
+              List.fold_left
+                (fun (acc, i) p ->
+                  match arr.(i) with
+                  | Cst v -> (SMap.add p v acc, i + 1)
+                  | Any -> (acc, i + 1))
+                (SMap.empty, 0) d.T.params
+              |> fst
+            in
+            let body = subst_term env d.T.body in
+            let body = drop_args keeps_cst body in
+            {
+              d with
+              T.params =
+                filter_positions (SMap.find d.T.def_name keeps_cst) d.T.params;
+              T.body = fold_term body;
+            })
+          spec.S.defs;
+      S.init =
+        List.map
+          (fun (name, vals) ->
+            match SMap.find_opt name keeps_cst with
+            | Some keep -> (name, filter_positions keep vals)
+            | None -> (name, vals))
+          spec.S.init;
+    }
+  in
+  (* 5. dead parameters *)
+  let defs = def_map spec.S.defs in
+  let needed = needed_params defs in
+  let keeps_dead =
+    SMap.mapi
+      (fun name (d : T.def) ->
+        let need = Option.value (SMap.find_opt name needed) ~default:SSet.empty in
+        Array.of_list (List.map (fun p -> SSet.mem p need) d.T.params))
+      defs
+  in
+  let dropped_params =
+    SMap.fold
+      (fun name (d : T.def) acc ->
+        let keep = SMap.find name keeps_dead in
+        List.fold_left
+          (fun (acc, i) p ->
+            ((if keep.(i) then acc else (name, p) :: acc), i + 1))
+          (acc, 0) d.T.params
+        |> fst)
+      defs []
+    |> List.rev
+  in
+  let spec =
+    {
+      spec with
+      S.defs =
+        List.map
+          (fun (d : T.def) ->
+            {
+              d with
+              T.params =
+                filter_positions (SMap.find d.T.def_name keeps_dead) d.T.params;
+              T.body = drop_args keeps_dead d.T.body;
+            })
+          spec.S.defs;
+      S.init =
+        List.map
+          (fun (name, vals) ->
+            match SMap.find_opt name keeps_dead with
+            | Some keep -> (name, filter_positions keep vals)
+            | None -> (name, vals))
+          spec.S.init;
+    }
+  in
+  (* 6. final prune + sanity check *)
+  let spec, dropped1 = prune_defs spec in
+  S.validate spec;
+  {
+    spec;
+    dropped_defs = dropped0 @ dropped1;
+    folded_params;
+    dropped_params;
+  }
+
+(* --- reporting ---------------------------------------------------------- *)
+
+let diagnostics (sl : t) : R.diag list =
+  let info ~where fmt =
+    Format.kasprintf
+      (fun message ->
+        R.diag ~severity:R.Info ~code:"PA-SLICE" ~where "%s" message)
+      fmt
+  in
+  List.map
+    (fun name ->
+      info ~where:("definition " ^ name)
+        "definition %s is unreachable from the initial components" name)
+    sl.dropped_defs
+  @ List.map
+      (fun (d, p, v) ->
+        info ~where:("definition " ^ d) "parameter %s folded to constant %s" p
+          (V.to_string v))
+      sl.folded_params
+  @ List.map
+      (fun (d, p) ->
+        info ~where:("definition " ^ d)
+          "parameter %s sliced away (no label or branch depends on it)" p)
+      sl.dropped_params

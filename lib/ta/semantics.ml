@@ -465,6 +465,44 @@ let clock t name =
   let off = t.env.lookup_clock name in
   fun (c : config) -> c.(off)
 
+(* Clock-activity projection support: given, per automaton and per
+   location, the clocks proven inactive there (every path to the next
+   read passes a reset first), build a closure that zeroes those clock
+   cells.  States differing only in inactive clocks collapse to one
+   representative; since nothing reads an inactive clock before
+   resetting it, the projection is a label-preserving bisimulation. *)
+let canonicalizer t ~inactive =
+  let n = Array.length t.autos in
+  let table =
+    Array.init n (fun i -> Array.make (Array.length t.autos.(i).a_locs) [||])
+  in
+  List.iter
+    (fun (auto, locs) ->
+      let i = find_auto t auto in
+      List.iter
+        (fun (loc, clocks) ->
+          let k =
+            match Hashtbl.find_opt t.loc_indices.(i) loc with
+            | Some k -> k
+            | None -> fail "unknown location %s in %s" loc auto
+          in
+          table.(i).(k) <-
+            Array.of_list (List.map t.env.lookup_clock clocks))
+        locs)
+    inactive;
+  fun (c : config) ->
+    let c' = ref c in
+    for i = 0 to n - 1 do
+      Array.iter
+        (fun off ->
+          if !c'.(off) <> 0 then begin
+            if !c' == c then c' := Array.copy c;
+            !c'.(off) <- 0
+          end)
+        table.(i).(c.(i))
+    done;
+    !c'
+
 let pp_label ppf = function
   | Delay -> Format.pp_print_string ppf "tick"
   | Act name -> Format.pp_print_string ppf name

@@ -44,5 +44,14 @@ val var : t -> string -> config -> int
 val elem : t -> string -> int -> config -> int
 val clock : t -> string -> config -> int
 
+val canonicalizer :
+  t -> inactive:(string * (string * string list) list) list -> config -> config
+(** [canonicalizer t ~inactive] builds a projection that zeroes, for each
+    automaton currently at a listed location, the clocks declared inactive
+    there ([inactive] is per automaton, per location, a list of clock
+    names).  Used by the slicer's clock-activity reduction: states that
+    differ only in inactive clocks collapse to one representative.
+    @raise Invalid_argument on unknown automaton/location/clock names. *)
+
 val pp_config : t -> Format.formatter -> config -> unit
 val pp_label : Format.formatter -> label -> unit

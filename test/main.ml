@@ -19,4 +19,5 @@ let () =
       Test_lint.tests;
       Test_por.tests;
       Test_resilience.tests;
+      Test_slice.tests;
     ]
