@@ -1,6 +1,6 @@
 DUNE ?= dune
 
-.PHONY: all build test bench bench-parallel faults lint ltl por par resilience slice clean fmt
+.PHONY: all build test bench bench-parallel faults lint ltl por par resilience slice zone clean fmt
 
 all: build
 
@@ -99,6 +99,25 @@ slice:
 	$(DUNE) exec bin/hbverify.exe -- slice-smoke --json > _build/hbslice-1.json
 	$(DUNE) exec bin/hbverify.exe -- slice-smoke --json > _build/hbslice-2.json
 	cmp _build/hbslice-1.json _build/hbslice-2.json
+
+# Zone-engine gate: the qcheck discrete-vs-zone agreement harness (DBM
+# units, random-network verdict parity, guided replay of zone
+# counterexamples), then the six-variant zone smoke (R1-R3 verdict
+# parity discrete vs dense-time, subsumption active, JSON
+# byte-identical across two runs), a Fontana-Cleaveland spot check
+# through the .xta front end, and a drift check that the shipped
+# examples/fc/*.xta are exactly what the Fc registry prints.
+zone:
+	$(DUNE) exec test/main.exe -- test zone
+	$(DUNE) exec bin/hbverify.exe -- zone-smoke
+	$(DUNE) exec bin/hbverify.exe -- zone-smoke --json > _build/hbzone-1.json
+	$(DUNE) exec bin/hbverify.exe -- zone-smoke --json > _build/hbzone-2.json
+	cmp _build/hbzone-1.json _build/hbzone-2.json
+	$(DUNE) exec bin/hbverify.exe -- xta examples/fc/fischer.xta --forbid P1.CS,P2.CS
+	for m in fischer fischer-broken csma fddi grc leader; do \
+	  $(DUNE) exec bin/hbexplore.exe -- fc $$m > _build/fc-$$m.xta && \
+	  cmp _build/fc-$$m.xta examples/fc/$$m.xta || exit 1; \
+	done
 
 # Just the sequential-vs-parallel exploration comparison.
 bench-parallel:

@@ -716,6 +716,126 @@ let pr8_report () =
   Format.printf "wrote BENCH_pr8.json@."
 
 (* ------------------------------------------------------------------ *)
+(* Part 1g: the dense-time zone engine — BENCH_pr9.json                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Discrete vs zone-graph exploration on the six heartbeat variants,
+   plus FISCHER-n scaling with and without inclusion subsumption.
+
+   The variant sweep runs expanding/dynamic at n=2, where the discrete
+   digitised state space exceeds the 1M-state cap (the per-tick delay
+   interleavings of two peers blow it up) while the zone graph
+   completes: the zone rows are exact where the discrete rows are
+   cut short, which is the point of the engine.  The four small
+   variants stay at n=1, where discrete wins on raw wall clock —
+   both directions are on record.
+
+   FISCHER-n is the classic dense-time workload (the protocol is
+   *wrong* under any digitisation coarser than the strict x>k
+   boundary, so only the zone engine checks it here); the ±subsumption
+   columns isolate what the inclusion waiting-list discipline buys. *)
+
+let pr9_variant_points =
+  [
+    (H.Ta_models.Binary, 1);
+    (H.Ta_models.Revised, 1);
+    (H.Ta_models.Two_phase, 1);
+    (H.Ta_models.Static, 1);
+    (H.Ta_models.Expanding, 2);
+    (H.Ta_models.Dynamic, 2);
+  ]
+
+let pr9_discrete_cap = 1_000_000
+
+let pr9_report () =
+  Format.printf "@.=== PR9: discrete vs dense-time zone exploration ===@.@.";
+  let flag b = if b then "" else "*" in
+  let variant_rows =
+    List.map
+      (fun (v, n) ->
+        let params = H.Params.make ~n ~tmin:1 ~tmax:2 () in
+        let model = H.Ta_models.build v params in
+        let sys = Ta.Semantics.system (Ta.Semantics.compile model) in
+        let (dc, dcomp), dt =
+          time_best 3 (fun () ->
+              Mc.Explore.count ~max_states:pr9_discrete_cap sys)
+        in
+        let z = Zone.Sym.compile model in
+        let stats = Zone.Reach.new_stats () in
+        let (zc, zcomp), zt =
+          time_best 3 (fun () ->
+              let s = Zone.Reach.new_stats () in
+              let r = Zone.Reach.count ~max_states:pr9_discrete_cap ~stats:s z in
+              stats.Zone.Reach.states <- s.Zone.Reach.states;
+              stats.Zone.Reach.transitions <- s.Zone.Reach.transitions;
+              stats.Zone.Reach.subsumed <- s.Zone.Reach.subsumed;
+              r)
+        in
+        Format.printf
+          "%-10s n=%d (1,2): discrete %8d%s states %7.2fs   zone %7d%s \
+           zones %7.2fs  (%d subsumed)@."
+          (H.Ta_models.variant_name v)
+          n dc (flag dcomp) dt zc (flag zcomp) zt stats.Zone.Reach.subsumed;
+        (v, n, (dc, dcomp, dt), (zc, zcomp, zt), stats))
+      pr9_variant_points
+  in
+  Format.printf "@.";
+  let fischer_rows =
+    List.map
+      (fun n ->
+        let z = Zone.Sym.compile (Fc.fischer ~n ()) in
+        let sub_stats = Zone.Reach.new_stats () in
+        let (cs, _), ts =
+          time_best 3 (fun () ->
+              let s = Zone.Reach.new_stats () in
+              let r = Zone.Reach.count ~subsume:true ~stats:s z in
+              sub_stats.Zone.Reach.subsumed <- s.Zone.Reach.subsumed;
+              r)
+        in
+        let (cn, _), tn =
+          time_best 3 (fun () -> Zone.Reach.count ~subsume:false z)
+        in
+        Format.printf
+          "fischer n=%d: subsumption %7d zones %6.2fs (%d subsumed)   \
+           equality %7d zones %6.2fs  (%.2fx)@."
+          n cs ts sub_stats.Zone.Reach.subsumed cn tn
+          (float_of_int cn /. float_of_int cs);
+        (n, (cs, ts, sub_stats.Zone.Reach.subsumed), (cn, tn)))
+      [ 2; 3; 4; 5; 6 ]
+  in
+  let rss = peak_rss_kb () in
+  Format.printf "@.peak RSS: %d kB@." rss;
+  let oc = open_out "BENCH_pr9.json" in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\"tool\":\"bench\",\"section\":\"pr9\",\"samples_per_cell\":3,\n";
+  p " \"discrete_cap\":%d,\n" pr9_discrete_cap;
+  p " \"variants\":[\n";
+  List.iteri
+    (fun k (v, n, (dc, dcomp, dt), (zc, zcomp, zt), (stats : Zone.Reach.stats)) ->
+      if k > 0 then p ",\n";
+      p
+        "  {\"variant\":\"%s\",\"tmin\":1,\"tmax\":2,\"n\":%d,\"discrete_states\":%d,\"discrete_complete\":%b,\"discrete_wall_s\":%.4f,\"zone_states\":%d,\"zone_complete\":%b,\"zone_wall_s\":%.4f,\"zone_transitions\":%d,\"subsumed\":%d,\"zone_states_per_sec\":%.0f}"
+        (H.Ta_models.variant_name v)
+        n dc dcomp dt zc zcomp zt stats.Zone.Reach.transitions
+        stats.Zone.Reach.subsumed
+        (float_of_int zc /. zt))
+    variant_rows;
+  p "\n ],\n";
+  p " \"fischer\":[\n";
+  List.iteri
+    (fun k (n, (cs, ts, subsumed), (cn, tn)) ->
+      if k > 0 then p ",\n";
+      p
+        "  {\"n\":%d,\"subsume_zones\":%d,\"subsume_wall_s\":%.4f,\"subsumed\":%d,\"equality_zones\":%d,\"equality_wall_s\":%.4f,\"zone_ratio\":%.2f}"
+        n cs ts subsumed cn tn
+        (float_of_int cn /. float_of_int cs))
+    fischer_rows;
+  p "\n ],\n";
+  p " \"peak_rss_kb\":%d}\n" rss;
+  close_out oc;
+  Format.printf "wrote BENCH_pr9.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel timings                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -927,6 +1047,7 @@ let () =
   else if has "--pr6-only" then pr6_report ()
   else if has "--pr7-only" then pr7_report ()
   else if has "--pr8-only" then pr8_report ()
+  else if has "--pr9-only" then pr9_report ()
   else begin
     if not bench_only then regenerate ();
     if not tables_only then begin

@@ -106,11 +106,90 @@ let count_arg =
 let json_arg =
   Arg.(value & flag & info [ "json" ] ~doc:"Emit the deterministic JSON result.")
 
+let zone_arg =
+  Arg.(
+    value & flag
+    & info [ "zone" ]
+        ~doc:"Explore the dense-time zone graph (canonical DBMs with \
+              inclusion subsumption) instead of the discrete state space.")
+
+let no_subsume_arg =
+  Arg.(
+    value & flag
+    & info [ "no-subsume" ]
+        ~doc:"With $(b,--zone): store zones up to equality only, disabling \
+              inclusion subsumption (the zone graph as a plain transition \
+              system driven by the generic explorer).")
+
+(* Zone-graph statistics.  With subsumption this is the waiting-list
+   discipline of Zone.Reach; without it the zone system is handed to
+   the generic Mc.Explore engine as-is, exercising the Mc.System
+   integration. *)
+let zone_stats ~variant ~params ~fixed ~monitors ~subsume ~json header =
+  let model =
+    H.Ta_models.build ~fixed ~with_r1_monitors:monitors variant params
+  in
+  let z = Zone.Sym.compile model in
+  let states, complete, subsumed =
+    if subsume then begin
+      let stats = Zone.Reach.new_stats () in
+      let n, complete =
+        Zone.Reach.count ~max_states:10_000_000 ~stats z
+      in
+      (n, complete, Some stats.Zone.Reach.subsumed)
+    end
+    else
+      let n, complete =
+        Mc.Explore.count ~max_states:10_000_000 (Zone.Sym.system z)
+      in
+      (n, complete, None)
+  in
+  if json then
+    Printf.printf
+      "{\"tool\":\"hbexplore\",\"cmd\":\"stats\",\"engine\":\"zone\",\"variant\":\"%s\",\"fixed\":%b,\"monitors\":%b,\"tmin\":%d,\"tmax\":%d,\"n\":%d,\"subsume\":%b,\"states\":%d,%s\"complete\":%b}\n"
+      (H.Ta_models.variant_name variant)
+      fixed monitors params.H.Params.tmin params.H.Params.tmax
+      params.H.Params.n subsume states
+      (match subsumed with
+      | Some s -> Printf.sprintf "\"subsumed\":%d," s
+      | None -> "")
+      complete
+  else
+    Format.printf "%a [zone%s]: %d zones (%s%s)@." header ()
+      (if subsume then "" else ", no subsumption")
+      states
+      (if complete then "complete" else "TRUNCATED")
+      (match subsumed with
+      | Some s -> Printf.sprintf "; %d subsumed" s
+      | None -> "")
+
 let stats_cmd =
-  let run variant tmin tmax n fixed monitors slice jobs show_stats store levels
-      count_only json bsecs bmb no_degrade ckpt ckpt_every resume_file =
+  let run variant tmin tmax n fixed monitors slice zone no_subsume jobs
+      show_stats store levels count_only json bsecs bmb no_degrade ckpt
+      ckpt_every resume_file =
     let jobs = resolve_jobs jobs in
     let params = H.Params.make ~n ~tmin ~tmax () in
+    if zone then begin
+      if
+        slice || levels || count_only
+        || store <> Mc.Store.Exact
+        || jobs > 1 || ckpt <> None || resume_file <> None
+      then
+        failwith
+          "--zone is sequential with an exact store (drop --slice, --store, \
+           --levels, --count, -j, --checkpoint and --resume)";
+      let header ppf () =
+        Format.fprintf ppf "%s%s %a%s"
+          (H.Ta_models.variant_name variant)
+          (if fixed then " [fixed]" else "")
+          H.Params.pp params
+          (if monitors then " +monitors" else "")
+      in
+      zone_stats ~variant ~params ~fixed ~monitors ~subsume:(not no_subsume)
+        ~json header
+    end
+    else begin
+    if no_subsume then failwith "--no-subsume needs --zone";
     let model =
       H.Ta_models.build ~fixed ~with_r1_monitors:monitors variant params
     in
@@ -288,13 +367,16 @@ let stats_cmd =
               (if ckpt <> None then "; checkpoint written" else "");
           exit Cli_resilience.exit_exhausted
     end
+    end
   in
   Cmd.v
     (Cmd.info "stats" ~exits:Cli_resilience.exits
-       ~doc:"Reachable state space of a timed-automata model.")
+       ~doc:"Reachable state space of a timed-automata model (discrete, or \
+             the dense-time zone graph with $(b,--zone)).")
     Term.(
       const run $ variant_arg $ tmin_arg $ tmax_arg $ n_arg $ fixed_arg
-      $ monitors_arg $ slice_arg $ jobs_arg $ exploration_stats_arg $ store_arg
+      $ monitors_arg $ slice_arg $ zone_arg $ no_subsume_arg $ jobs_arg
+      $ exploration_stats_arg $ store_arg
       $ levels_arg $ count_arg $ json_arg $ Cli_resilience.budget_secs_arg
       $ Cli_resilience.budget_mb_arg $ Cli_resilience.no_degrade_arg
       $ Cli_resilience.checkpoint_arg $ Cli_resilience.checkpoint_every_arg
@@ -417,6 +499,50 @@ let export_cmd =
       const run $ format_arg $ variant_arg $ tmin_arg $ tmax_arg $ n_arg
       $ fixed_arg)
 
+(* The Fontana-Cleaveland workload: print a benchmark as .xta (the
+   exact content of examples/fc/NAME.xta) or list the registry. *)
+let fc_cmd =
+  let name_arg =
+    Arg.(
+      value & pos 0 (some string) None
+      & info [] ~docv:"NAME"
+          ~doc:"Benchmark to print: fischer, fischer-broken, csma, fddi, \
+                grc or leader.  Omit to list the registry.")
+  in
+  let fischer_n_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "n" ] ~docv:"N"
+          ~doc:"For fischer: number of processes (default 2).")
+  in
+  let run name fischer_n =
+    match name with
+    | None ->
+        List.iter
+          (fun (s : Fc.spec) ->
+            Format.printf "%-16s %s, bad sets: %s@." s.Fc.fc_name
+              (if s.Fc.safe then "safe" else "unsafe")
+              (String.concat " | "
+                 (List.map
+                    (fun conj ->
+                      String.concat ","
+                        (List.map (fun (a, l) -> a ^ "." ^ l) conj))
+                    s.Fc.forbid)))
+          Fc.all
+    | Some "fischer" when fischer_n <> None ->
+        print_string
+          (Ta.Xta.to_string (Fc.fischer ?n:fischer_n ()))
+    | Some name -> (
+        match Fc.find name with
+        | Some s -> print_string (Ta.Xta.to_string s.Fc.model)
+        | None -> failwith ("unknown benchmark " ^ name))
+  in
+  Cmd.v
+    (Cmd.info "fc"
+       ~doc:"Print a Fontana-Cleaveland benchmark model as UPPAAL .xta \
+             (zone-check them with hbverify xta).")
+    Term.(const run $ name_arg $ fischer_n_arg)
+
 let deadlocks_cmd =
   let run variant tmin tmax n fixed jobs store levels bsecs bmb no_degrade =
     let jobs = resolve_jobs jobs in
@@ -470,4 +596,4 @@ let () =
   in
   exit
     (Cmd.eval (Cmd.group info
-       [ stats_cmd; pa_stats_cmd; dot_cmd; export_cmd; deadlocks_cmd ]))
+       [ stats_cmd; pa_stats_cmd; dot_cmd; export_cmd; fc_cmd; deadlocks_cmd ]))

@@ -50,11 +50,18 @@ let run_one name kind : Lint.Report.t =
         ~stats:r.Lint.Report.stats
   | Ta (v, fixed) ->
       (* TA reports carry the property-free slice summary (TA-SLICE):
-         folded constants, dead writes, inactive clocks. *)
+         folded constants, dead writes, inactive clocks — and the zone
+         engine's fragment check (TA-ZONE): per-clock static LU bounds,
+         with errors on anything --zone could not explore (diagonal
+         constraints, clocks under disjunction, non-integer clock
+         comparisons, clock-guarded broadcast receivers). *)
       let model = H.Ta_models.build ~fixed ~with_r1_monitors:true v lint_params in
       let r = Lint.Ta_model.analyze ~model:name model in
       Lint.Report.make ~model:name
-        ~diags:(r.Lint.Report.diags @ Slice.Ta.diagnostics (Slice.Ta.slice model))
+        ~diags:
+          (r.Lint.Report.diags
+          @ Slice.Ta.diagnostics (Slice.Ta.slice model)
+          @ Zone.Sym.diagnostics model)
         ~stats:r.Lint.Report.stats
 
 (* Allowlist entries are "CODE" (waive the code everywhere) or

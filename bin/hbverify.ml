@@ -102,20 +102,30 @@ let ta_slice_arg =
     & info [ "slice" ]
         ~doc:"Model-check the property-directed static slice instead of the               full model (cone-of-influence + dead writes + constant               folding + clock activity; exact, same verdicts).")
 
+let zone_arg =
+  Arg.(
+    value & flag
+    & info [ "zone" ]
+        ~doc:"Check the dense-time semantics through the symbolic zone \
+              engine (DBM zone graph with inclusion subsumption) instead \
+              of the discrete explorer.  Verdicts coincide for the shipped \
+              models; counterexamples are action sequences modulo time.")
+
 let check_cmd =
-  let run variant tmin tmax n fixed slice bsecs bmb no_degrade req =
+  let run variant tmin tmax n fixed slice zone bsecs bmb no_degrade req =
     let params = H.Params.make ~n ~tmin ~tmax () in
     let budget = Cli_resilience.budget bsecs bmb in
     let outcome =
-      H.Verify.check ~fixed ~slice ~budget ~degrade:(not no_degrade) variant
-        params req
+      H.Verify.check ~fixed ~slice ~zone ~budget ~degrade:(not no_degrade)
+        variant params req
     in
     let name ppf () =
-      Format.fprintf ppf "%s%s %a %s%s"
+      Format.fprintf ppf "%s%s %a %s%s%s"
         (H.Ta_models.variant_name variant)
         (if fixed then " [fixed]" else "")
         H.Params.pp params (H.Requirements.name req)
         (if slice then " [sliced]" else "")
+        (if zone then " [zone]" else "")
     in
     match outcome.H.Verify.exhausted with
     | Some e ->
@@ -128,11 +138,20 @@ let check_cmd =
         Option.iter
           (fun trace ->
             Format.printf "counterexample:@.";
-            List.iter
-              (fun e ->
-                Format.printf "  t=%-4d %s@." e.H.Scenarios.time
-                  e.H.Scenarios.action)
-              (H.Scenarios.timeline trace))
+            if zone then
+              (* zone traces abstract delays away: an action sequence
+                 modulo time, not a timeline *)
+              List.iter
+                (function
+                  | Ta.Semantics.Act a -> Format.printf "  %s@." a
+                  | Ta.Semantics.Delay -> ())
+                trace
+            else
+              List.iter
+                (fun e ->
+                  Format.printf "  t=%-4d %s@." e.H.Scenarios.time
+                    e.H.Scenarios.action)
+                (H.Scenarios.timeline trace))
           outcome.H.Verify.counterexample;
         if not outcome.H.Verify.holds then exit Cli_resilience.exit_violation
   in
@@ -147,7 +166,7 @@ let check_cmd =
        ~doc:"Model-check one requirement on one variant.")
     Term.(
       const run $ variant_arg $ tmin_arg $ tmax_arg $ n_arg $ fixed_arg
-      $ ta_slice_arg $ Cli_resilience.budget_secs_arg
+      $ ta_slice_arg $ zone_arg $ Cli_resilience.budget_secs_arg
       $ Cli_resilience.budget_mb_arg $ Cli_resilience.no_degrade_arg
       $ req_arg)
 
@@ -670,6 +689,222 @@ let slice_smoke_cmd =
              slice measurably shrinks at least one state space.")
     Term.(const run $ json_arg)
 
+(* The soundness gate for `make zone`: on every shipped variant, the
+   dense-time zone verdict must equal the discrete one for every
+   requirement, every zone counterexample must replay in the discrete
+   semantics (delays free, actions exact), and inclusion subsumption
+   must keep the verdicts while never storing more states.  All output
+   is byte-deterministic: state and subsumption counts, no wall
+   times. *)
+let zone_smoke_cmd =
+  let smoke_params = H.Params.make ~n:1 ~tmin:1 ~tmax:2 () in
+  let run json =
+    let failures = ref 0 in
+    let replays = ref 0 in
+    let rows =
+      List.map
+        (fun variant ->
+          let params = smoke_params in
+          let results =
+            List.map
+              (fun req ->
+                let disc = H.Verify.check variant params req in
+                let zone = H.Verify.check ~zone:true variant params req in
+                let parity = disc.H.Verify.holds = zone.H.Verify.holds in
+                let replayed =
+                  match zone.H.Verify.counterexample with
+                  | None -> true
+                  | Some trace ->
+                      incr replays;
+                      let model =
+                        H.Ta_models.build
+                          ~with_r1_monitors:(H.Requirements.needs_monitors req)
+                          variant params
+                      in
+                      let net = Ta.Semantics.compile model in
+                      Zone.Reach.guided_replay (Ta.Semantics.system net) ~trace
+                        ~goal:(H.Requirements.bad_state variant params net req)
+                in
+                if not (parity && replayed) then incr failures;
+                (req, parity, replayed))
+              H.Requirements.all
+          in
+          let model = H.Ta_models.build ~with_r1_monitors:true variant params in
+          let z = Zone.Sym.compile model in
+          let s_on = Zone.Reach.new_stats () in
+          let s_off = Zone.Reach.new_stats () in
+          let n_on, c_on = Zone.Reach.count ~subsume:true ~stats:s_on z in
+          let n_off, c_off = Zone.Reach.count ~subsume:false ~stats:s_off z in
+          if not (c_on && c_off && n_on <= n_off) then incr failures;
+          (variant, params, results, n_on, s_on.Zone.Reach.subsumed, n_off))
+        H.Ta_models.all_variants
+    in
+    (* subsumption must actually discard something on at least one
+       shipped variant, or the discipline is untested *)
+    let total_subsumed =
+      List.fold_left (fun acc (_, _, _, _, s, _) -> acc + s) 0 rows
+    in
+    if json then begin
+      print_string "{\"tool\":\"hbverify\",\"gate\":\"zone-smoke\",\"rows\":[";
+      List.iteri
+        (fun k (variant, params, results, n_on, subsumed, n_off) ->
+          if k > 0 then print_string ",";
+          Printf.printf
+            "{\"variant\":\"%s\",\"tmin\":%d,\"tmax\":%d,\"n\":%d,\"parity\":%b,\"replayed\":%b,\"zone_states\":%d,\"subsumed\":%d,\"zone_states_no_subsume\":%d}"
+            (H.Ta_models.variant_name variant)
+            params.H.Params.tmin params.H.Params.tmax params.H.Params.n
+            (List.for_all (fun (_, p, _) -> p) results)
+            (List.for_all (fun (_, _, r) -> r) results)
+            n_on subsumed n_off)
+        rows;
+      Printf.printf "],\"replays\":%d,\"total_subsumed\":%d,\"failures\":%d}\n"
+        !replays total_subsumed !failures
+    end
+    else
+      List.iter
+        (fun (variant, params, results, n_on, subsumed, n_off) ->
+          Format.printf "TA %-10s %a " (H.Ta_models.variant_name variant)
+            H.Params.pp params;
+          List.iter
+            (fun (req, parity, replayed) ->
+              Format.printf "%s %s%s  " (H.Requirements.name req)
+                (if parity then "ok" else "VERDICT CHANGED")
+                (if replayed then "" else " REPLAY FAILED"))
+            results;
+          Format.printf "zones %d (+%d subsumed; %d without subsumption)@."
+            n_on subsumed n_off)
+        rows;
+    if total_subsumed = 0 then begin
+      Format.printf "FAILED: subsumption never discarded a zone@.";
+      incr failures
+    end;
+    if !replays = 0 then begin
+      Format.printf "FAILED: no zone counterexample exercised the replay@.";
+      incr failures
+    end;
+    if !failures > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "zone-smoke"
+       ~doc:"Zone-engine gate: the dense-time zone verdicts agree with the \
+             discrete ones on every requirement for all six variants, zone \
+             counterexamples replay discretely, and inclusion subsumption \
+             keeps verdicts while measurably discarding zones.")
+    Term.(const run $ json_arg)
+
+(* Check an arbitrary .xta model (e.g. the Fontana-Cleaveland suite in
+   examples/fc/) against forbidden-location sets under the zone
+   engine. *)
+let xta_cmd =
+  let forbid_conv =
+    let parse s =
+      let pairs = String.split_on_char ',' s in
+      let parsed =
+        List.map
+          (fun p ->
+            match String.index_opt p '.' with
+            | Some k ->
+                Ok
+                  ( String.sub p 0 k,
+                    String.sub p (k + 1) (String.length p - k - 1) )
+            | None -> Error p)
+          pairs
+      in
+      match
+        List.partition_map
+          (function Ok x -> Left x | Error e -> Right e)
+          parsed
+      with
+      | pairs, [] -> Ok pairs
+      | _, bad :: _ ->
+          Error (`Msg (Printf.sprintf "expected AUTO.LOC, got %S" bad))
+    in
+    Arg.conv
+      ( parse,
+        fun ppf pairs ->
+          Format.pp_print_string ppf
+            (String.concat "," (List.map (fun (a, l) -> a ^ "." ^ l) pairs)) )
+  in
+  let forbid_arg =
+    Arg.(
+      value & opt_all forbid_conv []
+      & info [ "forbid" ] ~docv:"AUTO.LOC[,AUTO.LOC...]"
+          ~doc:"Forbidden location set: the model is unsafe if all the \
+                listed automaton locations are occupied simultaneously.  \
+                Repeat the flag for alternative bad sets (a disjunction).")
+  in
+  let fc_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "fc" ] ~docv:"NAME"
+          ~doc:"Instead of a file, load a built-in Fontana-Cleaveland \
+                benchmark with its safety property: fischer, \
+                fischer-broken, csma, fddi, grc or leader.")
+  in
+  let file_arg =
+    Arg.(
+      value & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"An UPPAAL .xta model file.")
+  in
+  let run file fc forbid json =
+    let model, forbid, expect_name =
+      match (fc, file) with
+      | Some name, _ -> (
+          match Fc.find name with
+          | Some spec -> (spec.Fc.model, spec.Fc.forbid, name)
+          | None -> failwith ("unknown benchmark " ^ name))
+      | None, Some path ->
+          let ic = open_in path in
+          let len = in_channel_length ic in
+          let src = really_input_string ic len in
+          close_in ic;
+          (Ta.Xta.parse src, forbid, Filename.basename path)
+      | None, None -> failwith "need a FILE or --fc NAME"
+    in
+    if forbid = [] then failwith "no --forbid sets given";
+    let z = Zone.Sym.compile model in
+    let net = Zone.Sym.net z in
+    let spec = { Fc.fc_name = expect_name; model; forbid; safe = true } in
+    let stats = Zone.Reach.new_stats () in
+    let verdict =
+      Zone.Reach.find ~stats z
+        ~goal:(Zone.Sym.bad_of z (Fc.bad_predicate spec net))
+    in
+    let status, trace =
+      match verdict with
+      | Mc.Explore.Unreachable -> ("safe", None)
+      | Mc.Explore.Reached w -> ("unsafe", Some w.Mc.Explore.trace)
+      | Mc.Explore.Bound_hit _ -> ("unknown", None)
+      | Mc.Explore.Exhausted _ -> ("exhausted", None)
+    in
+    if json then
+      Printf.printf
+        "{\"tool\":\"hbverify\",\"model\":\"%s\",\"engine\":\"zone\",\"verdict\":\"%s\",\"zone_states\":%d,\"subsumed\":%d}\n"
+        expect_name status stats.Zone.Reach.states stats.Zone.Reach.subsumed
+    else begin
+      Format.printf "%s [zone]: %s (%d zones, %d subsumed)@." expect_name
+        (String.uppercase_ascii status)
+        stats.Zone.Reach.states stats.Zone.Reach.subsumed;
+      Option.iter
+        (fun trace ->
+          Format.printf "counterexample:@.";
+          List.iter
+            (function
+              | Ta.Semantics.Act a -> Format.printf "  %s@." a
+              | Ta.Semantics.Delay -> ())
+            trace)
+        trace
+    end;
+    if status = "unsafe" then exit Cli_resilience.exit_violation
+    else if status <> "safe" then exit Cli_resilience.exit_unknown
+  in
+  Cmd.v
+    (Cmd.info "xta" ~exits:Cli_resilience.exits
+       ~doc:"Zone-check an UPPAAL .xta model (or a built-in \
+             Fontana-Cleaveland benchmark) against forbidden location \
+             sets.")
+    Term.(const run $ file_arg $ fc_arg $ forbid_arg $ json_arg)
+
 let all_cmd =
   let run () =
     List.iter (print_variant_table ~fixed:false ~n:1) H.Ta_models.all_variants;
@@ -690,6 +925,6 @@ let () =
        (Cmd.group info
           [
             table1_cmd; table2_cmd; table_fixed_cmd; all_cmd; check_cmd;
-            pa_check_cmd; pa_smoke_cmd; slice_smoke_cmd; cex_cmd; bounds_cmd;
-            worst_cmd;
+            pa_check_cmd; pa_smoke_cmd; slice_smoke_cmd; zone_smoke_cmd;
+            xta_cmd; cex_cmd; bounds_cmd; worst_cmd;
           ]))

@@ -31,8 +31,58 @@ let sliced_parts variant params req model =
   let bad = Requirements.bad_state variant params snet req in
   (Slice_ta.system sl snet, bad, card_to_expected sl.Slice_ta.expected)
 
+(* Dense-time check via the zone engine: same model builders, same bad
+   predicates (they observe only the discrete part), different
+   exploration.  Sequential and exact by construction, so the
+   parallel/compressed-store knobs are rejected rather than ignored. *)
+let check_zone ~fixed ~max_states ?budget variant params req =
+  let with_r1_monitors = Requirements.needs_monitors req in
+  let model = Ta_models.build ~fixed ~with_r1_monitors variant params in
+  let z = Zone.Sym.compile model in
+  let bad = Requirements.bad_state variant params (Zone.Sym.net z) req in
+  let stats = Zone.Reach.new_stats () in
+  match
+    Zone.Reach.find ~max_states ?budget ~stats z ~goal:(Zone.Sym.bad_of z bad)
+  with
+  | Mc.Explore.Unreachable ->
+      {
+        holds = true;
+        counterexample = None;
+        states_explored = Some stats.Zone.Reach.states;
+        exhausted = None;
+      }
+  | Mc.Explore.Reached w ->
+      {
+        holds = false;
+        counterexample = Some w.Mc.Explore.trace;
+        states_explored = None;
+        exhausted = None;
+      }
+  | Mc.Explore.Exhausted e ->
+      {
+        holds = false;
+        counterexample = None;
+        states_explored = Some e.Mc.Explore.states_so_far;
+        exhausted = Some e;
+      }
+  | Mc.Explore.Bound_hit n ->
+      Format.kasprintf failwith
+        "Verify.check: zone state bound %d exceeded (%s, %s, %a)" n
+        (Ta_models.variant_name variant)
+        (Requirements.name req) Params.pp params
+
 let check ?(fixed = false) ?(max_states = default_max) ?(domains = 1)
-    ?(slice = false) ?store ?workstealing ?budget ?degrade variant params req =
+    ?(slice = false) ?store ?workstealing ?budget ?degrade ?(zone = false)
+    variant params req =
+  if zone then begin
+    if slice then
+      invalid_arg "Verify.check: zone and slice engines are exclusive";
+    if domains > 1 || store <> None || workstealing <> None then
+      invalid_arg
+        "Verify.check: the zone engine is sequential with an exact store";
+    check_zone ~fixed ~max_states ?budget variant params req
+  end
+  else begin
   let with_r1_monitors = Requirements.needs_monitors req in
   let model = Ta_models.build ~fixed ~with_r1_monitors variant params in
   let net = Ta.Semantics.compile model in
@@ -75,6 +125,7 @@ let check ?(fixed = false) ?(max_states = default_max) ?(domains = 1)
         "Verify.check: state bound %d exceeded (%s, %s, %a)" n
         (Ta_models.variant_name variant)
         (Requirements.name req) Params.pp params
+  end
 
 (* The liveness formulas are pure label properties, so the slicing seed
    is empty: the pass keeps every guard (labels must be exact) and wins

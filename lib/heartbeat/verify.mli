@@ -25,6 +25,7 @@ val check :
   ?workstealing:bool ->
   ?budget:Mc.Budget.t ->
   ?degrade:bool ->
+  ?zone:bool ->
   Ta_models.variant ->
   Params.t ->
   Requirements.requirement ->
@@ -47,6 +48,16 @@ val check :
     reported in [outcome.exhausted] rather than raising, and with
     [degrade] (default [true]) memory trips first walk the store down
     the compression ladder (see {!Mc.Safety.check_monitor}).
+    [zone] (default false) checks the {e dense-time} semantics instead,
+    through the symbolic zone engine ({!Zone.Reach} over {!Zone.Sym}):
+    states are location/variable vectors paired with canonical DBMs,
+    explored with inclusion subsumption.  For these models (all clock
+    constraints closed) the verdict coincides with the discrete one;
+    counterexample traces are action sequences modulo time and replay
+    discretely ({!Zone.Reach.guided_replay}).
+    @raise Invalid_argument if [zone] is combined with [slice],
+    [domains > 1], [store] or [workstealing] (the zone engine is
+    sequential with an exact store).
     @raise Failure if the state bound is exceeded (no verdict). *)
 
 val check_live :

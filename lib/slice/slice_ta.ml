@@ -185,6 +185,134 @@ let rec bexpr_clocks acc (b : E.b) =
 
 let lhs_var = function M.Scalar x -> x | M.Element (x, _) -> x
 
+(* --- clock activity (Daws-Yovine) ---------------------------------------
+
+   A clock is owned by automaton A when every read and reset of it sits
+   in A (and it is not seeded, so property observers keep exact values).
+   active(l) = reads local to l (its invariant, plus guards and update
+   expressions of edges out of l) joined with active(l') over
+   non-resetting edges l -> l'.  Shared with the zone engine, which
+   zeroes inactive clocks in its DBMs for the same reason the slicer
+   zeroes them in discrete states: nothing reads them before a reset,
+   so the projection is a label-preserving bisimulation. *)
+
+let clock_sites (model : M.t) =
+  (* clock -> set of automaton names touching it *)
+  let tbl = Hashtbl.create 8 in
+  let touch auto c =
+    let prev = Option.value (Hashtbl.find_opt tbl c) ~default:SSet.empty in
+    Hashtbl.replace tbl c (SSet.add auto prev)
+  in
+  List.iter
+    (fun (a : M.automaton) ->
+      let name = a.M.auto_name in
+      List.iter
+        (fun (l : M.location) ->
+          SSet.iter (touch name) (bexpr_clocks SSet.empty l.M.invariant))
+        a.M.locations;
+      List.iter
+        (fun (e : M.edge) ->
+          SSet.iter (touch name) (bexpr_clocks SSet.empty e.M.guard);
+          List.iter
+            (fun (u : M.update) ->
+              match u with
+              | M.Reset c -> touch name c
+              | M.Assign (M.Scalar _, rhs) ->
+                  SSet.iter (touch name) (expr_clocks SSet.empty rhs)
+              | M.Assign (M.Element (_, i), rhs) ->
+                  SSet.iter (touch name)
+                    (expr_clocks (expr_clocks SSet.empty i) rhs))
+            e.M.updates)
+        a.M.edges)
+    model.M.automata;
+  tbl
+
+let owned_by ~seed_clocks (model : M.t) sites auto =
+  List.filter_map
+    (fun (c : M.clock_decl) ->
+      let name = c.M.clock_name in
+      if SSet.mem name seed_clocks then None
+      else
+        match Hashtbl.find_opt sites name with
+        | Some autos when SSet.equal autos (SSet.singleton auto) -> Some name
+        | _ -> None)
+    model.M.clocks
+
+let activity (a : M.automaton) owned =
+  let owned_set = SSet.of_list owned in
+  let local l =
+    let inv_reads = bexpr_clocks SSet.empty l.M.invariant in
+    List.fold_left
+      (fun acc (e : M.edge) ->
+        if e.M.src <> l.M.loc_name then acc
+        else
+          let acc = bexpr_clocks acc e.M.guard in
+          List.fold_left
+            (fun acc (u : M.update) ->
+              match u with
+              | M.Reset _ -> acc
+              | M.Assign (M.Scalar _, rhs) -> expr_clocks acc rhs
+              | M.Assign (M.Element (_, i), rhs) ->
+                  expr_clocks (expr_clocks acc i) rhs)
+            acc e.M.updates)
+      inv_reads a.M.edges
+    |> SSet.inter owned_set
+  in
+  let active = Hashtbl.create 8 in
+  List.iter
+    (fun (l : M.location) -> Hashtbl.replace active l.M.loc_name (local l))
+    a.M.locations;
+  let get l = Option.value (Hashtbl.find_opt active l) ~default:SSet.empty in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (e : M.edge) ->
+        let resets =
+          List.filter_map
+            (fun (u : M.update) ->
+              match u with M.Reset c -> Some c | M.Assign _ -> None)
+            e.M.updates
+          |> SSet.of_list
+        in
+        let flow = SSet.diff (get e.M.dst) resets in
+        let cur = get e.M.src in
+        let next = SSet.union cur flow in
+        if not (SSet.equal cur next) then begin
+          Hashtbl.replace active e.M.src next;
+          changed := true
+        end)
+      a.M.edges
+  done;
+  active
+
+let inactive_of ~seed_clocks (model : M.t) =
+  let sites = clock_sites model in
+  List.filter_map
+    (fun (a : M.automaton) ->
+      let owned = owned_by ~seed_clocks model sites a.M.auto_name in
+      if owned = [] then None
+      else
+        let active = activity a owned in
+        let per_loc =
+          List.filter_map
+            (fun (l : M.location) ->
+              let act =
+                Option.value
+                  (Hashtbl.find_opt active l.M.loc_name)
+                  ~default:SSet.empty
+              in
+              let inact = List.filter (fun c -> not (SSet.mem c act)) owned in
+              if inact = [] then None else Some (l.M.loc_name, inact))
+            a.M.locations
+        in
+        if per_loc = [] then None else Some (a.M.auto_name, per_loc))
+    model.M.automata
+
+(* The zone engine's entry point: per-automaton, per-location inactive
+   clocks of the full (unsliced, unseeded) model. *)
+let clock_activity (model : M.t) = inactive_of ~seed_clocks:SSet.empty model
+
 (* --- the pass ----------------------------------------------------------- *)
 
 let slice ?(seed = empty_seed) (model : M.t) : t =
@@ -394,126 +522,10 @@ let slice ?(seed = empty_seed) (model : M.t) : t =
       M.automata = automata;
     }
   in
-  (* 5. clock activity.  A clock is owned by automaton A when every read
-     and reset of it sits in A (and it is not seeded, so property
-     observers keep exact values).  active(l) = reads local to l (its
-     invariant, plus guards and update expressions of edges out of l)
-     joined with active(l') over non-resetting edges l -> l'. *)
-  let clock_sites =
-    (* clock -> set of automaton names touching it *)
-    let tbl = Hashtbl.create 8 in
-    let touch auto c =
-      let prev = Option.value (Hashtbl.find_opt tbl c) ~default:SSet.empty in
-      Hashtbl.replace tbl c (SSet.add auto prev)
-    in
-    List.iter
-      (fun (a : M.automaton) ->
-        let name = a.M.auto_name in
-        List.iter
-          (fun (l : M.location) ->
-            SSet.iter (touch name) (bexpr_clocks SSet.empty l.M.invariant))
-          a.M.locations;
-        List.iter
-          (fun (e : M.edge) ->
-            SSet.iter (touch name) (bexpr_clocks SSet.empty e.M.guard);
-            List.iter
-              (fun (u : M.update) ->
-                match u with
-                | M.Reset c -> touch name c
-                | M.Assign (M.Scalar _, rhs) ->
-                    SSet.iter (touch name) (expr_clocks SSet.empty rhs)
-                | M.Assign (M.Element (_, i), rhs) ->
-                    SSet.iter (touch name)
-                      (expr_clocks (expr_clocks SSet.empty i) rhs))
-              e.M.updates)
-          a.M.edges)
-      sliced.M.automata;
-    tbl
-  in
-  let owned_by auto =
-    List.filter_map
-      (fun (c : M.clock_decl) ->
-        let name = c.M.clock_name in
-        if SSet.mem name seed_clocks then None
-        else
-          match Hashtbl.find_opt clock_sites name with
-          | Some autos when SSet.equal autos (SSet.singleton auto) ->
-              Some name
-          | _ -> None)
-      sliced.M.clocks
-  in
-  let activity (a : M.automaton) owned =
-    let owned_set = SSet.of_list owned in
-    let local l =
-      let inv_reads = bexpr_clocks SSet.empty l.M.invariant in
-      List.fold_left
-        (fun acc (e : M.edge) ->
-          if e.M.src <> l.M.loc_name then acc
-          else
-            let acc = bexpr_clocks acc e.M.guard in
-            List.fold_left
-              (fun acc (u : M.update) ->
-                match u with
-                | M.Reset _ -> acc
-                | M.Assign (M.Scalar _, rhs) -> expr_clocks acc rhs
-                | M.Assign (M.Element (_, i), rhs) ->
-                    expr_clocks (expr_clocks acc i) rhs)
-              acc e.M.updates)
-        inv_reads a.M.edges
-      |> SSet.inter owned_set
-    in
-    let active = Hashtbl.create 8 in
-    List.iter
-      (fun (l : M.location) -> Hashtbl.replace active l.M.loc_name (local l))
-      a.M.locations;
-    let get l = Option.value (Hashtbl.find_opt active l) ~default:SSet.empty in
-    let changed = ref true in
-    while !changed do
-      changed := false;
-      List.iter
-        (fun (e : M.edge) ->
-          let resets =
-            List.filter_map
-              (fun (u : M.update) ->
-                match u with M.Reset c -> Some c | M.Assign _ -> None)
-              e.M.updates
-            |> SSet.of_list
-          in
-          let flow = SSet.diff (get e.M.dst) resets in
-          let cur = get e.M.src in
-          let next = SSet.union cur flow in
-          if not (SSet.equal cur next) then begin
-            Hashtbl.replace active e.M.src next;
-            changed := true
-          end)
-        a.M.edges
-    done;
-    active
-  in
-  let inactive =
-    List.filter_map
-      (fun (a : M.automaton) ->
-        let owned = owned_by a.M.auto_name in
-        if owned = [] then None
-        else
-          let active = activity a owned in
-          let per_loc =
-            List.filter_map
-              (fun (l : M.location) ->
-                let act =
-                  Option.value
-                    (Hashtbl.find_opt active l.M.loc_name)
-                    ~default:SSet.empty
-                in
-                let inact =
-                  List.filter (fun c -> not (SSet.mem c act)) owned
-                in
-                if inact = [] then None else Some (l.M.loc_name, inact))
-              a.M.locations
-          in
-          if per_loc = [] then None else Some (a.M.auto_name, per_loc))
-      sliced.M.automata
-  in
+  (* 5. clock activity (the Daws-Yovine pass above, on the sliced
+     model, keeping seeded clocks exact). *)
+  let owned_by = owned_by ~seed_clocks sliced (clock_sites sliced) in
+  let inactive = inactive_of ~seed_clocks sliced in
   (* 6. activity-aware bound: per automaton, sum over locations of the
      product of active owned-clock domains; unowned clocks and kept
      variables multiply globally as before. *)

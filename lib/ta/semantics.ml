@@ -465,6 +465,28 @@ let clock t name =
   let off = t.env.lookup_clock name in
   fun (c : config) -> c.(off)
 
+(* --- zone-engine support ------------------------------------------------ *)
+
+let of_cells (c : int array) : config = c
+let cells (c : config) : int array = c
+let num_automata t = Array.length t.autos
+let num_clocks t = t.num_clocks
+let clock_offset t = t.clock_offset
+let clock_caps t = t.clock_caps
+let lookup_var t name = t.env.lookup_var name
+let lookup_clock t name = t.env.lookup_clock name
+
+let loc_index t ~auto name =
+  match Hashtbl.find_opt t.loc_indices.(auto) name with
+  | Some k -> k
+  | None -> fail "unknown location %s in %s" name t.autos.(auto).a_name
+
+let loc_name_at t i k = t.autos.(i).a_locs.(k).l_name
+let loc_kind_at t i k = t.autos.(i).a_locs.(k).l_kind
+let auto_name_at t i = t.autos.(i).a_name
+let compile_expr_fn t e = compile_expr t.env e
+let compile_bexpr_fn t b = compile_bexpr t.env b
+
 (* Clock-activity projection support: given, per automaton and per
    location, the clocks proven inactive there (every path to the next
    read passes a reset first), build a closure that zeroes those clock

@@ -44,6 +44,49 @@ val var : t -> string -> config -> int
 val elem : t -> string -> int -> config -> int
 val clock : t -> string -> config -> int
 
+(** {2 Zone-engine support}
+
+    The symbolic zone engine ({!Zone.Sym} in the [zone] library) reuses
+    the discrete configuration layout for the discrete part of its
+    states — locations and variables, with every clock cell zeroed — so
+    that state predicates built from {!loc_is} / {!var} / {!elem} apply
+    unchanged to symbolic states.  These accessors expose the layout
+    and the compiled evaluators it needs; [of_cells] / [cells] convert
+    (for free — a configuration {e is} its cell array) between the two
+    views. *)
+
+val of_cells : int array -> config
+val cells : config -> int array
+
+val num_automata : t -> int
+val num_clocks : t -> int
+
+val clock_offset : t -> int
+(** Clock cells occupy [clock_offset t .. clock_offset t + num_clocks t - 1]. *)
+
+val clock_caps : t -> int array
+(** Saturation cap per clock, in declaration order (shared, do not
+    mutate). *)
+
+val lookup_var : t -> string -> int * int
+(** Cell offset and size of a variable.  @raise Invalid_argument on
+    unknown names. *)
+
+val lookup_clock : t -> string -> int
+(** Cell offset of a clock.  @raise Invalid_argument on unknown names. *)
+
+val loc_index : t -> auto:int -> string -> int
+val loc_name_at : t -> int -> int -> string
+val loc_kind_at : t -> int -> int -> Model.loc_kind
+val auto_name_at : t -> int -> string
+
+val compile_expr_fn : t -> Expr.t -> config -> int
+val compile_bexpr_fn : t -> Expr.b -> config -> bool
+(** Compile an expression against this network's layout (the same
+    compilation the successor relation uses).  A clock read evaluates
+    the clock {e cell} — callers that zero clock cells must only pass
+    clock-free expressions. *)
+
 val canonicalizer :
   t -> inactive:(string * (string * string list) list) list -> config -> config
 (** [canonicalizer t ~inactive] builds a projection that zeroes, for each

@@ -16,3 +16,26 @@ val pp : Format.formatter -> Model.t -> unit
     one [process] per automaton, and the [system] line). *)
 
 val to_string : Model.t -> string
+
+(** {1 Parsing}
+
+    A recursive-descent parser for the same fragment the printer
+    emits, plus UPPAAL extensions the shipped heartbeat models never
+    need but the Fontana-Cleaveland benchmark suite does: strict clock
+    comparisons ([<] / [>]), [urgent] / [commit] location lists, and
+    [broadcast chan] declarations all round-trip.
+
+    Clock caps are not part of the [.xta] surface syntax (they are a
+    state-space device of the discrete checker), so the parser infers
+    them: every clock gets [cap = m + 2] where [m] is the largest
+    integer literal in the document — large enough to exceed every
+    constant any clock is compared against, which is what saturation
+    soundness requires. *)
+
+exception Parse_error of string
+(** Raised with a [line N: reason] message on malformed input. *)
+
+val parse : string -> Model.t
+(** [parse s] reads an [.xta] document.  Guarantees
+    [to_string (parse (to_string m)) = to_string m] for every model
+    the printer accepts.  @raise Parse_error on syntax errors. *)

@@ -20,4 +20,5 @@ let () =
       Test_por.tests;
       Test_resilience.tests;
       Test_slice.tests;
+      Test_zone.tests;
     ]

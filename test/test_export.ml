@@ -88,6 +88,83 @@ let test_exports_for_all_variants () =
       | None -> ())
     H.Ta_models.all_variants
 
+(* --- the .xta parser ------------------------------------------------ *)
+
+let test_xta_roundtrip_variants () =
+  (* print -> parse -> print is the identity on every shipped model *)
+  List.iter
+    (fun v ->
+      let m = H.Ta_models.build ~with_r1_monitors:true v params in
+      let s = Ta.Xta.to_string m in
+      check Alcotest.string
+        (H.Ta_models.variant_name v ^ " round-trips")
+        s
+        (Ta.Xta.to_string (Ta.Xta.parse s)))
+    H.Ta_models.all_variants
+
+let fischer_like =
+  "// strict guards, urgent states, broadcast - the FC extensions\n\
+   int id = 0;\n\
+   clock x;\n\
+   broadcast chan go;\n\
+   process P() {\n\
+  \  state\n\
+  \    Idle,\n\
+  \    Try { x <= 3 },\n\
+  \    Wait,\n\
+  \    CS;\n\
+  \  urgent Idle;\n\
+  \  init Idle;\n\
+  \  trans\n\
+  \    Idle -> Try { guard id == 0; assign x = 0; },\n\
+  \    Try -> Wait { guard x < 3; sync go!; assign id = 1, x = 0; },\n\
+  \    Wait -> CS { guard x > 3 && id == 1; },\n\
+  \    CS -> Idle { assign id = 0; };\n\
+   }\n\
+   system P;\n"
+
+let test_xta_parse_strict () =
+  let m = Ta.Xta.parse fischer_like in
+  let a = List.hd m.Ta.Model.automata in
+  check Alcotest.int "locations" 4 (List.length a.Ta.Model.locations);
+  check Alcotest.int "edges" 4 (List.length a.Ta.Model.edges);
+  let wait_cs = List.nth a.Ta.Model.edges 2 in
+  (match wait_cs.Ta.Model.guard with
+  | Ta.Expr.And
+      ( Ta.Expr.Cmp (Ta.Expr.Gt, Ta.Expr.Clock "x", Ta.Expr.Int 3),
+        Ta.Expr.Cmp (Ta.Expr.Eq, Ta.Expr.Var "id", Ta.Expr.Int 1) ) ->
+      ()
+  | _ -> Alcotest.fail "strict > guard not parsed as written");
+  (* the urgent marker survived *)
+  let idle = List.hd a.Ta.Model.locations in
+  check Alcotest.bool "Idle urgent" true (idle.Ta.Model.kind = Ta.Model.Urgent);
+  (* caps are inferred past every literal *)
+  let c = List.hd m.Ta.Model.clocks in
+  check Alcotest.bool "cap exceeds literals" true (c.Ta.Model.cap > 3);
+  (* and the parse is stable under one more round trip *)
+  let s = Ta.Xta.to_string m in
+  check Alcotest.string "fixpoint" s (Ta.Xta.to_string (Ta.Xta.parse s))
+
+let test_xta_parse_errors () =
+  List.iter
+    (fun (src, fragment) ->
+      try
+        ignore (Ta.Xta.parse src : Ta.Model.t);
+        Alcotest.failf "accepted %S" src
+      with Ta.Xta.Parse_error msg ->
+        check Alcotest.bool
+          (Printf.sprintf "%S mentions %S" msg fragment)
+          true
+          (contains msg fragment))
+    [
+      ("clock x\nsystem P;", "expected \";\"");
+      ("process P() { state A; init A; }\nsystem Q;", "undeclared process Q");
+      ("int a[2] = { 1 };\nsystem P;", "2 elements but initialises 1");
+      ("clock x;\nprocess P() { state A; init A;\n  trans A -> A { assign x = 5; }; }\nsystem P;",
+       "only be reset to 0");
+      ("@", "unexpected character");
+    ]
+
 let tests =
   ( "export",
     [
@@ -97,4 +174,8 @@ let tests =
       Alcotest.test_case "mcrl2 structure" `Quick test_mcrl2_structure;
       Alcotest.test_case "mcrl2 sort inference" `Quick test_mcrl2_sort_inference;
       Alcotest.test_case "exports are total" `Quick test_exports_for_all_variants;
+      Alcotest.test_case "xta parse round-trips" `Quick
+        test_xta_roundtrip_variants;
+      Alcotest.test_case "xta strict comparisons" `Quick test_xta_parse_strict;
+      Alcotest.test_case "xta parse errors" `Quick test_xta_parse_errors;
     ] )
