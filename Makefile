@@ -102,17 +102,26 @@ slice:
 
 # Zone-engine gate: the qcheck discrete-vs-zone agreement harness (DBM
 # units, random-network verdict parity, guided replay of zone
-# counterexamples), then the six-variant zone smoke (R1-R3 verdict
-# parity discrete vs dense-time, subsumption active, JSON
-# byte-identical across two runs), a Fontana-Cleaveland spot check
+# counterexamples), the location-LU analysis suite (backward-fixpoint
+# units, three-way verdict parity discrete vs global vs location LU,
+# zone-count monotonicity), then the six-variant zone smoke (R1-R3
+# verdict parity discrete vs dense-time in both LU modes, subsumption
+# active, location LU never storing more zones, JSON byte-identical
+# across two runs), the FC-suite LU A/B (verdicts match the specs in
+# both modes, byte-identical JSON), a Fontana-Cleaveland spot check
 # through the .xta front end, and a drift check that the shipped
 # examples/fc/*.xta are exactly what the Fc registry prints.
 zone:
 	$(DUNE) exec test/main.exe -- test zone
+	$(DUNE) exec test/main.exe -- test lubounds
 	$(DUNE) exec bin/hbverify.exe -- zone-smoke
 	$(DUNE) exec bin/hbverify.exe -- zone-smoke --json > _build/hbzone-1.json
 	$(DUNE) exec bin/hbverify.exe -- zone-smoke --json > _build/hbzone-2.json
 	cmp _build/hbzone-1.json _build/hbzone-2.json
+	$(DUNE) exec bin/hbexplore.exe -- fc --zones
+	$(DUNE) exec bin/hbexplore.exe -- fc --zones --json > _build/hbfczones-1.json
+	$(DUNE) exec bin/hbexplore.exe -- fc --zones --json > _build/hbfczones-2.json
+	cmp _build/hbfczones-1.json _build/hbfczones-2.json
 	$(DUNE) exec bin/hbverify.exe -- xta examples/fc/fischer.xta --forbid P1.CS,P2.CS
 	for m in fischer fischer-broken csma fddi grc leader; do \
 	  $(DUNE) exec bin/hbexplore.exe -- fc $$m > _build/fc-$$m.xta && \

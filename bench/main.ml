@@ -836,6 +836,109 @@ let pr9_report () =
   Format.printf "wrote BENCH_pr9.json@."
 
 (* ------------------------------------------------------------------ *)
+(* Part 1h: location-sensitive LU extrapolation — BENCH_pr10.json      *)
+(* ------------------------------------------------------------------ *)
+
+(* Global vs location-based Extra+LU on the workloads where the zone
+   graph is the bottleneck: FISCHER-n scaling (the clock is reset
+   before every comparison on the way back to Idle, so per-location
+   bounds collapse to -1 over most of the ring and zones merge), and
+   the two big heartbeat variants at n=2.  Same subsumption discipline
+   in both columns, so the delta is the extrapolation alone.  The
+   headline is the largest FISCHER n that completes under the zone cap
+   in each mode. *)
+
+let pr10_zone_cap = 2_000_000
+
+let pr10_report () =
+  Format.printf
+    "@.=== PR10: global vs location-sensitive LU extrapolation ===@.@.";
+  let flag b = if b then "" else "*" in
+  let measure ~samples model lu =
+    let z = Zone.Sym.compile ~lu model in
+    let (n, complete), t =
+      time_best samples (fun () ->
+          Zone.Reach.count ~subsume:true ~max_states:pr10_zone_cap z)
+    in
+    (n, complete, t)
+  in
+  let fischer_rows =
+    List.map
+      (fun n ->
+        let model = Fc.fischer ~n () in
+        let samples = if n <= 5 then 3 else 1 in
+        let gz, gc, gt = measure ~samples model Zone.Sym.Global in
+        let lz, lc, lt = measure ~samples model Zone.Sym.Location in
+        Format.printf
+          "fischer n=%d: global %8d%s zones %7.2fs   location %8d%s zones \
+           %7.2fs  (%.2fx)@."
+          n gz (flag gc) gt lz (flag lc) lt
+          (float_of_int gz /. float_of_int lz);
+        (n, samples, (gz, gc, gt), (lz, lc, lt)))
+      [ 2; 3; 4; 5; 6; 7; 8 ]
+  in
+  Format.printf "@.";
+  let variant_rows =
+    List.map
+      (fun v ->
+        let params = H.Params.make ~n:2 ~tmin:1 ~tmax:2 () in
+        let model = H.Ta_models.build v params in
+        let gz, gc, gt = measure ~samples:3 model Zone.Sym.Global in
+        let lz, lc, lt = measure ~samples:3 model Zone.Sym.Location in
+        Format.printf
+          "%-10s n=2 (1,2): global %8d%s zones %7.2fs   location %8d%s \
+           zones %7.2fs  (%.2fx)@."
+          (H.Ta_models.variant_name v)
+          gz (flag gc) gt lz (flag lc) lt
+          (float_of_int gz /. float_of_int lz);
+        (v, (gz, gc, gt), (lz, lc, lt)))
+      [ H.Ta_models.Expanding; H.Ta_models.Dynamic ]
+  in
+  let max_feasible pick =
+    List.fold_left
+      (fun acc (n, _, g, l) ->
+        let _, complete, _ = pick (g, l) in
+        if complete then max acc n else acc)
+      0 fischer_rows
+  in
+  let max_global = max_feasible fst and max_location = max_feasible snd in
+  let rss = peak_rss_kb () in
+  Format.printf
+    "@.max feasible fischer n under %d zones: global %d, location %d@."
+    pr10_zone_cap max_global max_location;
+  Format.printf "peak RSS: %d kB@." rss;
+  let oc = open_out "BENCH_pr10.json" in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\"tool\":\"bench\",\"section\":\"pr10\",\n";
+  p " \"zone_cap\":%d,\n" pr10_zone_cap;
+  p " \"fischer\":[\n";
+  List.iteri
+    (fun k (n, samples, (gz, gc, gt), (lz, lc, lt)) ->
+      if k > 0 then p ",\n";
+      p
+        "  {\"n\":%d,\"samples\":%d,\"global_zones\":%d,\"global_complete\":%b,\"global_wall_s\":%.4f,\"location_zones\":%d,\"location_complete\":%b,\"location_wall_s\":%.4f,\"zone_ratio\":%.3f}"
+        n samples gz gc gt lz lc lt
+        (float_of_int gz /. float_of_int lz))
+    fischer_rows;
+  p "\n ],\n";
+  p " \"variants\":[\n";
+  List.iteri
+    (fun k (v, (gz, gc, gt), (lz, lc, lt)) ->
+      if k > 0 then p ",\n";
+      p
+        "  {\"variant\":\"%s\",\"tmin\":1,\"tmax\":2,\"n\":2,\"samples\":3,\"global_zones\":%d,\"global_complete\":%b,\"global_wall_s\":%.4f,\"location_zones\":%d,\"location_complete\":%b,\"location_wall_s\":%.4f,\"zone_ratio\":%.3f}"
+        (H.Ta_models.variant_name v)
+        gz gc gt lz lc lt
+        (float_of_int gz /. float_of_int lz))
+    variant_rows;
+  p "\n ],\n";
+  p " \"max_feasible_n\":{\"global\":%d,\"location\":%d},\n" max_global
+    max_location;
+  p " \"peak_rss_kb\":%d}\n" rss;
+  close_out oc;
+  Format.printf "wrote BENCH_pr10.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel timings                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -1048,6 +1151,7 @@ let () =
   else if has "--pr7-only" then pr7_report ()
   else if has "--pr8-only" then pr8_report ()
   else if has "--pr9-only" then pr9_report ()
+  else if has "--pr10-only" then pr10_report ()
   else begin
     if not bench_only then regenerate ();
     if not tables_only then begin

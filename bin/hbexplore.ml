@@ -121,15 +121,35 @@ let no_subsume_arg =
               inclusion subsumption (the zone graph as a plain transition \
               system driven by the generic explorer).")
 
+let lu_conv =
+  Arg.enum [ ("global", Zone.Sym.Global); ("location", Zone.Sym.Location) ]
+
+let lu_arg =
+  Arg.(
+    value
+    & opt lu_conv Zone.Sym.Global
+    & info [ "lu" ] ~docv:"MODE"
+        ~doc:"LU-bound source: $(b,global) (one pair per clock, whole \
+              network) or $(b,location) (per-location tables from the \
+              lubounds backward fixpoint).  With $(b,--zone) this selects \
+              the Extra+LU extrapolation; on the discrete engine it caps \
+              each clock at its per-location bound during delays (same \
+              reachable locations and variables; the valuation count \
+              usually shrinks on clock-dominated spaces).")
+
+let lu_name = function
+  | Zone.Sym.Global -> "global"
+  | Zone.Sym.Location -> "location"
+
 (* Zone-graph statistics.  With subsumption this is the waiting-list
    discipline of Zone.Reach; without it the zone system is handed to
    the generic Mc.Explore engine as-is, exercising the Mc.System
    integration. *)
-let zone_stats ~variant ~params ~fixed ~monitors ~subsume ~json header =
+let zone_stats ~variant ~params ~fixed ~monitors ~subsume ~lu ~json header =
   let model =
     H.Ta_models.build ~fixed ~with_r1_monitors:monitors variant params
   in
-  let z = Zone.Sym.compile model in
+  let z = Zone.Sym.compile ~lu model in
   let states, complete, subsumed =
     if subsume then begin
       let stats = Zone.Reach.new_stats () in
@@ -146,7 +166,8 @@ let zone_stats ~variant ~params ~fixed ~monitors ~subsume ~json header =
   in
   if json then
     Printf.printf
-      "{\"tool\":\"hbexplore\",\"cmd\":\"stats\",\"engine\":\"zone\",\"variant\":\"%s\",\"fixed\":%b,\"monitors\":%b,\"tmin\":%d,\"tmax\":%d,\"n\":%d,\"subsume\":%b,\"states\":%d,%s\"complete\":%b}\n"
+      "{\"tool\":\"hbexplore\",\"cmd\":\"stats\",\"engine\":\"zone\",\"lu\":\"%s\",\"variant\":\"%s\",\"fixed\":%b,\"monitors\":%b,\"tmin\":%d,\"tmax\":%d,\"n\":%d,\"subsume\":%b,\"states\":%d,%s\"complete\":%b}\n"
+      (lu_name lu)
       (H.Ta_models.variant_name variant)
       fixed monitors params.H.Params.tmin params.H.Params.tmax
       params.H.Params.n subsume states
@@ -155,7 +176,8 @@ let zone_stats ~variant ~params ~fixed ~monitors ~subsume ~json header =
       | None -> "")
       complete
   else
-    Format.printf "%a [zone%s]: %d zones (%s%s)@." header ()
+    Format.printf "%a [zone%s%s]: %d zones (%s%s)@." header ()
+      (if lu = Zone.Sym.Location then " lu=location" else "")
       (if subsume then "" else ", no subsumption")
       states
       (if complete then "complete" else "TRUNCATED")
@@ -164,7 +186,7 @@ let zone_stats ~variant ~params ~fixed ~monitors ~subsume ~json header =
       | None -> "")
 
 let stats_cmd =
-  let run variant tmin tmax n fixed monitors slice zone no_subsume jobs
+  let run variant tmin tmax n fixed monitors slice zone no_subsume lu jobs
       show_stats store levels count_only json bsecs bmb no_degrade ckpt
       ckpt_every resume_file =
     let jobs = resolve_jobs jobs in
@@ -186,10 +208,14 @@ let stats_cmd =
           (if monitors then " +monitors" else "")
       in
       zone_stats ~variant ~params ~fixed ~monitors ~subsume:(not no_subsume)
-        ~json header
+        ~lu ~json header
     end
     else begin
     if no_subsume then failwith "--no-subsume needs --zone";
+    if lu = Zone.Sym.Location && slice then
+      failwith
+        "--lu location caps the full model's clocks (drop --slice: the \
+         sliced model has its own activity-based reduction)";
     let model =
       H.Ta_models.build ~fixed ~with_r1_monitors:monitors variant params
     in
@@ -199,7 +225,20 @@ let stats_cmd =
       if slice then
         let sl = Slice.Ta.slice model in
         Slice.Ta.system sl (Ta.Semantics.compile sl.Slice.Ta.model)
-      else Ta.Semantics.system (Ta.Semantics.compile model)
+      else
+        (* --lu location: delays saturate each clock at its per-location
+           bound (from the lubounds backward fixpoint) instead of the
+           global cap — same reachable locations and variables, usually
+           fewer clock valuations.  Sound here because exploration
+           observes only the discrete part. *)
+        let net = Ta.Semantics.compile model in
+        let net =
+          if lu = Zone.Sym.Location then
+            Ta.Semantics.with_loc_caps net
+              (Lubounds.caps_for net model (Lubounds.analyze_cached model))
+          else net
+        in
+        Ta.Semantics.system net
     in
     let max_states = 10_000_000 in
     let workstealing = if levels then Some false else None in
@@ -219,17 +258,19 @@ let stats_cmd =
        parameters, bound and store family, or the resume is rejected *)
     let kind =
       Printf.sprintf
-        "hbexplore/stats/ta/%s/fixed=%b/monitors=%b/slice=%b/tmin=%d/tmax=%d/n=%d/max=%d/store=%s"
+        "hbexplore/stats/ta/%s/fixed=%b/monitors=%b/slice=%b/lu=%s/tmin=%d/tmax=%d/n=%d/max=%d/store=%s"
         (H.Ta_models.variant_name variant)
-        fixed monitors slice tmin tmax n max_states (Mc.Store.mode_name store)
+        fixed monitors slice (lu_name lu) tmin tmax n max_states
+        (Mc.Store.mode_name store)
     in
     let header ppf () =
-      Format.fprintf ppf "%s%s %a%s%s"
+      Format.fprintf ppf "%s%s %a%s%s%s"
         (H.Ta_models.variant_name variant)
         (if fixed then " [fixed]" else "")
         H.Params.pp params
         (if monitors then " +monitors" else "")
         (if slice then " [sliced]" else "")
+        (if lu = Zone.Sym.Location then " [lu=location]" else "")
     in
     let json_result ~states ~transitions ~complete ~coverage ~exhausted
         ~degraded =
@@ -375,7 +416,8 @@ let stats_cmd =
              the dense-time zone graph with $(b,--zone)).")
     Term.(
       const run $ variant_arg $ tmin_arg $ tmax_arg $ n_arg $ fixed_arg
-      $ monitors_arg $ slice_arg $ zone_arg $ no_subsume_arg $ jobs_arg
+      $ monitors_arg $ slice_arg $ zone_arg $ no_subsume_arg $ lu_arg
+      $ jobs_arg
       $ exploration_stats_arg $ store_arg
       $ levels_arg $ count_arg $ json_arg $ Cli_resilience.budget_secs_arg
       $ Cli_resilience.budget_mb_arg $ Cli_resilience.no_degrade_arg
@@ -499,8 +541,68 @@ let export_cmd =
       const run $ format_arg $ variant_arg $ tmin_arg $ tmax_arg $ n_arg
       $ fixed_arg)
 
+(* Per-benchmark zone counts for both LU-extrapolation modes, with a
+   verdict check against the spec's expected answer.  This is the
+   global-vs-location A/B measurement over the whole FC suite; the
+   --json form is byte-deterministic (counts only, no wall times) and
+   gated by `make zone`. *)
+let fc_zones specs json =
+  let failures = ref 0 in
+  let rows =
+    List.map
+      (fun (s : Fc.spec) ->
+        let measure lu =
+          let z = Zone.Sym.compile ~lu s.Fc.model in
+          let goal = Zone.Sym.bad_of z (Fc.bad_predicate s (Zone.Sym.net z)) in
+          let verdict =
+            match Zone.Reach.find ~max_states:10_000_000 z ~goal with
+            | Mc.Explore.Unreachable -> Some true
+            | Mc.Explore.Reached _ -> Some false
+            | Mc.Explore.Bound_hit _ | Mc.Explore.Exhausted _ -> None
+          in
+          let zones, complete =
+            Zone.Reach.count ~max_states:10_000_000 ~subsume:true z
+          in
+          (verdict, zones, complete)
+        in
+        let g_verdict, g_zones, g_complete = measure Zone.Sym.Global in
+        let l_verdict, l_zones, l_complete = measure Zone.Sym.Location in
+        let parity =
+          g_verdict = Some s.Fc.safe && l_verdict = Some s.Fc.safe
+        in
+        (* monotonicity: location bounds never exceed the global ones,
+           so coarser extrapolation can only merge zones *)
+        if not (parity && g_complete && l_complete && l_zones <= g_zones)
+        then incr failures;
+        (s, parity, g_zones, l_zones))
+      specs
+  in
+  if json then begin
+    print_string "{\"tool\":\"hbexplore\",\"cmd\":\"fc-zones\",\"rows\":[";
+    List.iteri
+      (fun k ((s : Fc.spec), parity, g_zones, l_zones) ->
+        if k > 0 then print_string ",";
+        Printf.printf
+          "{\"model\":\"%s\",\"safe\":%b,\"verdict_parity\":%b,\"zones_global\":%d,\"zones_location\":%d}"
+          s.Fc.fc_name s.Fc.safe parity g_zones l_zones)
+      rows;
+    Printf.printf "],\"failures\":%d}\n" !failures
+  end
+  else
+    List.iter
+      (fun ((s : Fc.spec), parity, g_zones, l_zones) ->
+        Format.printf "%-16s %-6s %s  zones: global %d, location %d (%.2fx)@."
+          s.Fc.fc_name
+          (if s.Fc.safe then "safe" else "unsafe")
+          (if parity then "verdict ok" else "VERDICT WRONG")
+          g_zones l_zones
+          (float_of_int g_zones /. float_of_int l_zones))
+      rows;
+  if !failures > 0 then exit 1
+
 (* The Fontana-Cleaveland workload: print a benchmark as .xta (the
-   exact content of examples/fc/NAME.xta) or list the registry. *)
+   exact content of examples/fc/NAME.xta), list the registry, or
+   measure zone counts under both LU modes with --zones. *)
 let fc_cmd =
   let name_arg =
     Arg.(
@@ -515,33 +617,57 @@ let fc_cmd =
       & info [ "n" ] ~docv:"N"
           ~doc:"For fischer: number of processes (default 2).")
   in
-  let run name fischer_n =
-    match name with
-    | None ->
-        List.iter
-          (fun (s : Fc.spec) ->
-            Format.printf "%-16s %s, bad sets: %s@." s.Fc.fc_name
-              (if s.Fc.safe then "safe" else "unsafe")
-              (String.concat " | "
-                 (List.map
-                    (fun conj ->
-                      String.concat ","
-                        (List.map (fun (a, l) -> a ^ "." ^ l) conj))
-                    s.Fc.forbid)))
-          Fc.all
-    | Some "fischer" when fischer_n <> None ->
-        print_string
-          (Ta.Xta.to_string (Fc.fischer ?n:fischer_n ()))
-    | Some name -> (
-        match Fc.find name with
-        | Some s -> print_string (Ta.Xta.to_string s.Fc.model)
-        | None -> failwith ("unknown benchmark " ^ name))
+  let zones_arg =
+    Arg.(
+      value & flag
+      & info [ "zones" ]
+          ~doc:"Instead of printing models, zone-check each selected \
+                benchmark under both global and location LU extrapolation \
+                and report the zone counts (verdicts must match the spec; \
+                location LU must never store more zones).")
+  in
+  let run name fischer_n zones json =
+    if json && not zones then failwith "--json needs --zones";
+    if zones then
+      let specs =
+        match name with
+        | None -> Fc.all
+        | Some "fischer" when fischer_n <> None ->
+            [ Fc.fischer_spec ?n:fischer_n () ]
+        | Some name -> (
+            match Fc.find name with
+            | Some s -> [ s ]
+            | None -> failwith ("unknown benchmark " ^ name))
+      in
+      fc_zones specs json
+    else
+      match name with
+      | None ->
+          List.iter
+            (fun (s : Fc.spec) ->
+              Format.printf "%-16s %s, bad sets: %s@." s.Fc.fc_name
+                (if s.Fc.safe then "safe" else "unsafe")
+                (String.concat " | "
+                   (List.map
+                      (fun conj ->
+                        String.concat ","
+                          (List.map (fun (a, l) -> a ^ "." ^ l) conj))
+                      s.Fc.forbid)))
+            Fc.all
+      | Some "fischer" when fischer_n <> None ->
+          print_string
+            (Ta.Xta.to_string (Fc.fischer ?n:fischer_n ()))
+      | Some name -> (
+          match Fc.find name with
+          | Some s -> print_string (Ta.Xta.to_string s.Fc.model)
+          | None -> failwith ("unknown benchmark " ^ name))
   in
   Cmd.v
     (Cmd.info "fc"
        ~doc:"Print a Fontana-Cleaveland benchmark model as UPPAAL .xta \
-             (zone-check them with hbverify xta).")
-    Term.(const run $ name_arg $ fischer_n_arg)
+             (zone-check them with hbverify xta), or A/B the zone counts \
+             of both LU-extrapolation modes with $(b,--zones).")
+    Term.(const run $ name_arg $ fischer_n_arg $ zones_arg $ json_arg)
 
 let deadlocks_cmd =
   let run variant tmin tmax n fixed jobs store levels bsecs bmb no_degrade =

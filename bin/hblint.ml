@@ -50,18 +50,22 @@ let run_one name kind : Lint.Report.t =
         ~stats:r.Lint.Report.stats
   | Ta (v, fixed) ->
       (* TA reports carry the property-free slice summary (TA-SLICE):
-         folded constants, dead writes, inactive clocks — and the zone
+         folded constants, dead writes, inactive clocks — the zone
          engine's fragment check (TA-ZONE): per-clock static LU bounds,
          with errors on anything --zone could not explore (diagonal
          constraints, clocks under disjunction, non-integer clock
-         comparisons, clock-guarded broadcast receivers). *)
+         comparisons, clock-guarded broadcast receivers) — and the
+         location-sensitive LU tables (TA-LU) from the [lubounds]
+         backward fixpoint, with a warning per clock whose per-location
+         bound diverges to the declared cap. *)
       let model = H.Ta_models.build ~fixed ~with_r1_monitors:true v lint_params in
       let r = Lint.Ta_model.analyze ~model:name model in
       Lint.Report.make ~model:name
         ~diags:
           (r.Lint.Report.diags
           @ Slice.Ta.diagnostics (Slice.Ta.slice model)
-          @ Zone.Sym.diagnostics model)
+          @ Zone.Sym.diagnostics model
+          @ Lubounds.diagnostics model)
         ~stats:r.Lint.Report.stats
 
 (* Allowlist entries are "CODE" (waive the code everywhere) or

@@ -111,12 +111,25 @@ let zone_arg =
               of the discrete explorer.  Verdicts coincide for the shipped \
               models; counterexamples are action sequences modulo time.")
 
+let lu_conv =
+  Arg.enum [ ("global", Zone.Sym.Global); ("location", Zone.Sym.Location) ]
+
+let lu_arg =
+  Arg.(
+    value
+    & opt lu_conv Zone.Sym.Global
+    & info [ "lu" ] ~docv:"MODE"
+        ~doc:"Zone-extrapolation bounds: $(b,global) uses one LU pair per \
+              clock over the whole network, $(b,location) the per-location \
+              tables from the lubounds backward fixpoint (same verdicts, \
+              never more zones).  Needs $(b,--zone).")
+
 let check_cmd =
-  let run variant tmin tmax n fixed slice zone bsecs bmb no_degrade req =
+  let run variant tmin tmax n fixed slice zone lu bsecs bmb no_degrade req =
     let params = H.Params.make ~n ~tmin ~tmax () in
     let budget = Cli_resilience.budget bsecs bmb in
     let outcome =
-      H.Verify.check ~fixed ~slice ~zone ~budget ~degrade:(not no_degrade)
+      H.Verify.check ~fixed ~slice ~zone ~lu ~budget ~degrade:(not no_degrade)
         variant params req
     in
     let name ppf () =
@@ -125,7 +138,9 @@ let check_cmd =
         (if fixed then " [fixed]" else "")
         H.Params.pp params (H.Requirements.name req)
         (if slice then " [sliced]" else "")
-        (if zone then " [zone]" else "")
+        (if zone then
+           if lu = Zone.Sym.Location then " [zone lu=location]" else " [zone]"
+         else "")
     in
     match outcome.H.Verify.exhausted with
     | Some e ->
@@ -166,7 +181,7 @@ let check_cmd =
        ~doc:"Model-check one requirement on one variant.")
     Term.(
       const run $ variant_arg $ tmin_arg $ tmax_arg $ n_arg $ fixed_arg
-      $ ta_slice_arg $ zone_arg $ Cli_resilience.budget_secs_arg
+      $ ta_slice_arg $ zone_arg $ lu_arg $ Cli_resilience.budget_secs_arg
       $ Cli_resilience.budget_mb_arg $ Cli_resilience.no_degrade_arg
       $ req_arg)
 
@@ -710,69 +725,93 @@ let zone_smoke_cmd =
               (fun req ->
                 let disc = H.Verify.check variant params req in
                 let zone = H.Verify.check ~zone:true variant params req in
-                let parity = disc.H.Verify.holds = zone.H.Verify.holds in
-                let replayed =
-                  match zone.H.Verify.counterexample with
-                  | None -> true
-                  | Some trace ->
-                      incr replays;
-                      let model =
-                        H.Ta_models.build
-                          ~with_r1_monitors:(H.Requirements.needs_monitors req)
-                          variant params
-                      in
-                      let net = Ta.Semantics.compile model in
-                      Zone.Reach.guided_replay (Ta.Semantics.system net) ~trace
-                        ~goal:(H.Requirements.bad_state variant params net req)
+                let zloc =
+                  H.Verify.check ~zone:true ~lu:Zone.Sym.Location variant
+                    params req
                 in
-                if not (parity && replayed) then incr failures;
-                (req, parity, replayed))
+                let parity = disc.H.Verify.holds = zone.H.Verify.holds in
+                let lu_parity = disc.H.Verify.holds = zloc.H.Verify.holds in
+                let replay trace =
+                  incr replays;
+                  let model =
+                    H.Ta_models.build
+                      ~with_r1_monitors:(H.Requirements.needs_monitors req)
+                      variant params
+                  in
+                  let net = Ta.Semantics.compile model in
+                  Zone.Reach.guided_replay (Ta.Semantics.system net) ~trace
+                    ~goal:(H.Requirements.bad_state variant params net req)
+                in
+                let replayed =
+                  (match zone.H.Verify.counterexample with
+                  | None -> true
+                  | Some trace -> replay trace)
+                  && match zloc.H.Verify.counterexample with
+                     | None -> true
+                     | Some trace -> replay trace
+                in
+                if not (parity && lu_parity && replayed) then incr failures;
+                (req, parity, lu_parity, replayed))
               H.Requirements.all
           in
           let model = H.Ta_models.build ~with_r1_monitors:true variant params in
           let z = Zone.Sym.compile model in
+          let zl = Zone.Sym.compile ~lu:Zone.Sym.Location model in
           let s_on = Zone.Reach.new_stats () in
           let s_off = Zone.Reach.new_stats () in
+          let s_loc = Zone.Reach.new_stats () in
           let n_on, c_on = Zone.Reach.count ~subsume:true ~stats:s_on z in
           let n_off, c_off = Zone.Reach.count ~subsume:false ~stats:s_off z in
+          let n_loc, c_loc = Zone.Reach.count ~subsume:true ~stats:s_loc zl in
           if not (c_on && c_off && n_on <= n_off) then incr failures;
-          (variant, params, results, n_on, s_on.Zone.Reach.subsumed, n_off))
+          (* the location-LU monotonicity gate: per-location bounds are
+             at most the global ones, so coarser extrapolation can only
+             merge zones — never create new ones *)
+          if not (c_loc && n_loc <= n_on) then incr failures;
+          (variant, params, results, n_on, s_on.Zone.Reach.subsumed, n_off,
+           n_loc))
         H.Ta_models.all_variants
     in
     (* subsumption must actually discard something on at least one
        shipped variant, or the discipline is untested *)
     let total_subsumed =
-      List.fold_left (fun acc (_, _, _, _, s, _) -> acc + s) 0 rows
+      List.fold_left (fun acc (_, _, _, _, s, _, _) -> acc + s) 0 rows
     in
     if json then begin
       print_string "{\"tool\":\"hbverify\",\"gate\":\"zone-smoke\",\"rows\":[";
       List.iteri
-        (fun k (variant, params, results, n_on, subsumed, n_off) ->
+        (fun k (variant, params, results, n_on, subsumed, n_off, n_loc) ->
           if k > 0 then print_string ",";
           Printf.printf
-            "{\"variant\":\"%s\",\"tmin\":%d,\"tmax\":%d,\"n\":%d,\"parity\":%b,\"replayed\":%b,\"zone_states\":%d,\"subsumed\":%d,\"zone_states_no_subsume\":%d}"
+            "{\"variant\":\"%s\",\"tmin\":%d,\"tmax\":%d,\"n\":%d,\"parity\":%b,\"replayed\":%b,\"zone_states\":%d,\"subsumed\":%d,\"zone_states_no_subsume\":%d,\"lu_parity\":%b,\"zone_states_lu_location\":%d}"
             (H.Ta_models.variant_name variant)
             params.H.Params.tmin params.H.Params.tmax params.H.Params.n
-            (List.for_all (fun (_, p, _) -> p) results)
-            (List.for_all (fun (_, _, r) -> r) results)
-            n_on subsumed n_off)
+            (List.for_all (fun (_, p, _, _) -> p) results)
+            (List.for_all (fun (_, _, _, r) -> r) results)
+            n_on subsumed n_off
+            (List.for_all (fun (_, _, p, _) -> p) results)
+            n_loc)
         rows;
-      Printf.printf "],\"replays\":%d,\"total_subsumed\":%d,\"failures\":%d}\n"
+      Printf.printf
+        "],\"replays\":%d,\"total_subsumed\":%d,\"lu_version\":2,\"failures\":%d}\n"
         !replays total_subsumed !failures
     end
     else
       List.iter
-        (fun (variant, params, results, n_on, subsumed, n_off) ->
+        (fun (variant, params, results, n_on, subsumed, n_off, n_loc) ->
           Format.printf "TA %-10s %a " (H.Ta_models.variant_name variant)
             H.Params.pp params;
           List.iter
-            (fun (req, parity, replayed) ->
-              Format.printf "%s %s%s  " (H.Requirements.name req)
+            (fun (req, parity, lu_parity, replayed) ->
+              Format.printf "%s %s%s%s  " (H.Requirements.name req)
                 (if parity then "ok" else "VERDICT CHANGED")
+                (if lu_parity then "" else " LU VERDICT CHANGED")
                 (if replayed then "" else " REPLAY FAILED"))
             results;
-          Format.printf "zones %d (+%d subsumed; %d without subsumption)@."
-            n_on subsumed n_off)
+          Format.printf
+            "zones %d (+%d subsumed; %d without subsumption; %d with \
+             location LU)@."
+            n_on subsumed n_off n_loc)
         rows;
     if total_subsumed = 0 then begin
       Format.printf "FAILED: subsumption never discarded a zone@.";
@@ -787,9 +826,11 @@ let zone_smoke_cmd =
   Cmd.v
     (Cmd.info "zone-smoke"
        ~doc:"Zone-engine gate: the dense-time zone verdicts agree with the \
-             discrete ones on every requirement for all six variants, zone \
-             counterexamples replay discretely, and inclusion subsumption \
-             keeps verdicts while measurably discarding zones.")
+             discrete ones on every requirement for all six variants under \
+             both LU-extrapolation modes, zone counterexamples replay \
+             discretely, inclusion subsumption keeps verdicts while \
+             measurably discarding zones, and location-LU extrapolation \
+             never stores more zones than global LU.")
     Term.(const run $ json_arg)
 
 (* Check an arbitrary .xta model (e.g. the Fontana-Cleaveland suite in
@@ -846,7 +887,7 @@ let xta_cmd =
       value & pos 0 (some file) None
       & info [] ~docv:"FILE" ~doc:"An UPPAAL .xta model file.")
   in
-  let run file fc forbid json =
+  let run file fc forbid lu json =
     let model, forbid, expect_name =
       match (fc, file) with
       | Some name, _ -> (
@@ -862,7 +903,7 @@ let xta_cmd =
       | None, None -> failwith "need a FILE or --fc NAME"
     in
     if forbid = [] then failwith "no --forbid sets given";
-    let z = Zone.Sym.compile model in
+    let z = Zone.Sym.compile ~lu model in
     let net = Zone.Sym.net z in
     let spec = { Fc.fc_name = expect_name; model; forbid; safe = true } in
     let stats = Zone.Reach.new_stats () in
@@ -877,12 +918,17 @@ let xta_cmd =
       | Mc.Explore.Bound_hit _ -> ("unknown", None)
       | Mc.Explore.Exhausted _ -> ("exhausted", None)
     in
+    let lu_name =
+      match lu with Zone.Sym.Global -> "global" | Zone.Sym.Location -> "location"
+    in
     if json then
       Printf.printf
-        "{\"tool\":\"hbverify\",\"model\":\"%s\",\"engine\":\"zone\",\"verdict\":\"%s\",\"zone_states\":%d,\"subsumed\":%d}\n"
-        expect_name status stats.Zone.Reach.states stats.Zone.Reach.subsumed
+        "{\"tool\":\"hbverify\",\"model\":\"%s\",\"engine\":\"zone\",\"lu\":\"%s\",\"verdict\":\"%s\",\"zone_states\":%d,\"subsumed\":%d}\n"
+        expect_name lu_name status stats.Zone.Reach.states
+        stats.Zone.Reach.subsumed
     else begin
-      Format.printf "%s [zone]: %s (%d zones, %d subsumed)@." expect_name
+      Format.printf "%s [zone lu=%s]: %s (%d zones, %d subsumed)@." expect_name
+        lu_name
         (String.uppercase_ascii status)
         stats.Zone.Reach.states stats.Zone.Reach.subsumed;
       Option.iter
@@ -903,7 +949,7 @@ let xta_cmd =
        ~doc:"Zone-check an UPPAAL .xta model (or a built-in \
              Fontana-Cleaveland benchmark) against forbidden location \
              sets.")
-    Term.(const run $ file_arg $ fc_arg $ forbid_arg $ json_arg)
+    Term.(const run $ file_arg $ fc_arg $ forbid_arg $ lu_arg $ json_arg)
 
 let all_cmd =
   let run () =

@@ -12,6 +12,8 @@ type stats = {
   pa_bound_hits : int;
   ta_bound_lookups : int;
   ta_bound_hits : int;
+  lu_lookups : int;
+  lu_hits : int;
 }
 
 val stats : unit -> stats

@@ -35,10 +35,10 @@ let sliced_parts variant params req model =
    predicates (they observe only the discrete part), different
    exploration.  Sequential and exact by construction, so the
    parallel/compressed-store knobs are rejected rather than ignored. *)
-let check_zone ~fixed ~max_states ?budget variant params req =
+let check_zone ~fixed ~max_states ?budget ~lu variant params req =
   let with_r1_monitors = Requirements.needs_monitors req in
   let model = Ta_models.build ~fixed ~with_r1_monitors variant params in
-  let z = Zone.Sym.compile model in
+  let z = Zone.Sym.compile ~lu model in
   let bad = Requirements.bad_state variant params (Zone.Sym.net z) req in
   let stats = Zone.Reach.new_stats () in
   match
@@ -73,16 +73,18 @@ let check_zone ~fixed ~max_states ?budget variant params req =
 
 let check ?(fixed = false) ?(max_states = default_max) ?(domains = 1)
     ?(slice = false) ?store ?workstealing ?budget ?degrade ?(zone = false)
-    variant params req =
+    ?(lu = Zone.Sym.Global) variant params req =
   if zone then begin
     if slice then
       invalid_arg "Verify.check: zone and slice engines are exclusive";
     if domains > 1 || store <> None || workstealing <> None then
       invalid_arg
         "Verify.check: the zone engine is sequential with an exact store";
-    check_zone ~fixed ~max_states ?budget variant params req
+    check_zone ~fixed ~max_states ?budget ~lu variant params req
   end
   else begin
+  if lu <> Zone.Sym.Global then
+    invalid_arg "Verify.check: --lu location needs the zone engine";
   let with_r1_monitors = Requirements.needs_monitors req in
   let model = Ta_models.build ~fixed ~with_r1_monitors variant params in
   let net = Ta.Semantics.compile model in

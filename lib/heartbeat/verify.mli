@@ -26,6 +26,7 @@ val check :
   ?budget:Mc.Budget.t ->
   ?degrade:bool ->
   ?zone:bool ->
+  ?lu:Zone.Sym.lu ->
   Ta_models.variant ->
   Params.t ->
   Requirements.requirement ->
@@ -55,9 +56,14 @@ val check :
     constraints closed) the verdict coincides with the discrete one;
     counterexample traces are action sequences modulo time and replay
     discretely ({!Zone.Reach.guided_replay}).
+    [lu] (default {!Zone.Sym.Global}) selects the zone engine's
+    extrapolation mode; {!Zone.Sym.Location} uses the per-location
+    bound tables from the [lubounds] backward fixpoint — same
+    verdicts, never more stored zones.
     @raise Invalid_argument if [zone] is combined with [slice],
     [domains > 1], [store] or [workstealing] (the zone engine is
-    sequential with an exact store).
+    sequential with an exact store), or if [lu] is [Location] without
+    [zone].
     @raise Failure if the state bound is exceeded (no verdict). *)
 
 val check_live :

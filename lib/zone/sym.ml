@@ -19,10 +19,17 @@
    saturation, which is what makes discrete and zone verdicts agree on
    closed models (see test/test_zone.ml).
 
-   Extrapolation is Extra_LU with static per-clock bounds obtained by
+   Extrapolation is Extra_LU in one of two modes.  [Global] (the
+   PR 9 behaviour): one static L/U pair per clock, obtained by
    interval analysis of every bound expression (Lint_ta's fixpoint);
    clocks read by updates are pinned to L = U = cap since a read
-   observes the exact value up to the cap. *)
+   observes the exact value up to the cap.  [Location]: per-state
+   bounds looked up from the discrete part — Lubounds' backward
+   fixpoint gives per-(automaton, location, clock) constants, composed
+   at extrapolation time as the maximum over the current location
+   vector (sound for the product; see lib/lubounds), with the
+   Daws-Yovine inactive clocks dropped to the L = U = -1 degenerate
+   case on top of the existing reset-to-zero. *)
 
 module E = Ta.Expr
 module M = Ta.Model
@@ -324,6 +331,8 @@ type zloc = {
   zl_recv : zedge list array;
 }
 
+type lu = Global | Location
+
 type t = {
   znet : S.t;
   zn : int; (* automata *)
@@ -333,6 +342,11 @@ type t = {
   zcaps : int array; (* by DBM index; zcaps.(0) unused *)
   zlu_l : int array;
   zlu_u : int array;
+  zlu : lu;
+  zloc_l : int array array array; (* auto -> loc -> DBM index -> L *)
+  zloc_u : int array array array;
+  zscr_l : int array; (* scratch per-state composition buffers: the *)
+  zscr_u : int array; (* engine is sequential, settle owns them *)
   zinactive : int array array array; (* auto -> loc -> DBM indices *)
   zclock_names : string array; (* by DBM index *)
 }
@@ -422,7 +436,7 @@ let comp_guard net cidx ~where (b : E.b) : (int array -> bool) * atom list =
   | exception Frag (_, reason) ->
       raise (Unsupported (where ^ ": " ^ reason))
 
-let compile (model : M.t) : t =
+let compile ?(lu = Global) (model : M.t) : t =
   (* Reject the whole model up front if any constraint is outside the
      fragment, with a located message. *)
   let an = analyze_model model in
@@ -537,6 +551,32 @@ let compile (model : M.t) : t =
       (Slice_ta.clock_activity model);
     tbl
   in
+  (* Per-(automaton, location) LU arrays by DBM index, from the
+     backward fixpoint.  Built in both modes (they also feed the
+     lu_tables reporting API); only Location-mode settle consults
+     them.  Location order matches zautos: both come from the model's
+     location lists via S.loc_index. *)
+  let lub = Lubounds.analyze_cached model in
+  let loc_tbl select =
+    Array.of_list
+      (List.mapi
+         (fun ia (a : M.automaton) ->
+           let arr = Array.make (Array.length zautos.(ia)) [||] in
+           List.iter
+             (fun (l : M.location) ->
+               let li = S.loc_index net ~auto:ia l.M.loc_name in
+               let row = Array.make dim (-1) in
+               for k = 1 to dim - 1 do
+                 row.(k) <-
+                   select
+                     (Lubounds.bounds lub ~auto:a.M.auto_name
+                        ~loc:l.M.loc_name ~clock:zclock_names.(k))
+               done;
+               arr.(li) <- row)
+             a.M.locations;
+           arr)
+         model.M.automata)
+  in
   {
     znet = net;
     zn;
@@ -546,6 +586,11 @@ let compile (model : M.t) : t =
     zcaps;
     zlu_l;
     zlu_u;
+    zlu = lu;
+    zloc_l = loc_tbl fst;
+    zloc_u = loc_tbl snd;
+    zscr_l = Array.make dim (-1);
+    zscr_u = Array.make dim (-1);
     zinactive;
     zclock_names;
   }
@@ -556,6 +601,20 @@ let dim t = t.zdim
 let lu_bounds t =
   List.init (t.zdim - 1) (fun k ->
       (t.zclock_names.(k + 1), t.zlu_l.(k + 1), t.zlu_u.(k + 1)))
+
+let lu_mode t = t.zlu
+
+let lu_tables t =
+  List.init t.zn (fun i ->
+      ( S.auto_name_at t.znet i,
+        List.init
+          (Array.length t.zautos.(i))
+          (fun k ->
+            ( S.loc_name_at t.znet i k,
+              List.init (t.zdim - 1) (fun j ->
+                  ( t.zclock_names.(j + 1),
+                    t.zloc_l.(i).(k).(j + 1),
+                    t.zloc_u.(i).(k).(j + 1) )) )) ))
 
 (* --- successor relation --------------------------------------------- *)
 
@@ -603,7 +662,33 @@ let settle t disc z : state option =
         (fun k -> Dbm.reset ~dim:t.zdim z k)
         t.zinactive.(i).(disc.(i))
     done;
-    Dbm.extrapolate_lu ~dim:t.zdim z ~l:t.zlu_l ~u:t.zlu_u;
+    (match t.zlu with
+    | Global -> Dbm.extrapolate_lu ~dim:t.zdim z ~l:t.zlu_l ~u:t.zlu_u
+    | Location ->
+        (* compose the per-state bounds: max over the automata's
+           current locations, then the Daws-Yovine degenerate case —
+           an inactive clock (just reset to zero above) is never
+           compared before its next reset, i.e. L = U = -1 *)
+        let l = t.zscr_l and u = t.zscr_u in
+        for k = 1 to t.zdim - 1 do
+          l.(k) <- -1;
+          u.(k) <- -1
+        done;
+        for i = 0 to t.zn - 1 do
+          let bl = t.zloc_l.(i).(disc.(i)) and bu = t.zloc_u.(i).(disc.(i)) in
+          for k = 1 to t.zdim - 1 do
+            if bl.(k) > l.(k) then l.(k) <- bl.(k);
+            if bu.(k) > u.(k) then u.(k) <- bu.(k)
+          done
+        done;
+        for i = 0 to t.zn - 1 do
+          Array.iter
+            (fun k ->
+              l.(k) <- -1;
+              u.(k) <- -1)
+            t.zinactive.(i).(disc.(i))
+        done;
+        Dbm.extrapolate_lu ~dim:t.zdim z ~l ~u);
     Some { disc; dbm = z }
   end
 

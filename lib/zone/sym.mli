@@ -47,8 +47,18 @@ type state = { disc : int array; dbm : Dbm.t }
     [dbm] is closed, non-empty and extrapolated.  Treat both as
     immutable. *)
 
-val compile : Ta.Model.t -> t
-(** Compile a network for zone exploration.
+type lu = Global | Location
+(** Extrapolation mode.  [Global]: one static L/U pair per clock (the
+    maxima over the whole model).  [Location]: per-state bounds from
+    {!Lubounds}' backward fixpoint, composed as the maximum over the
+    current location vector, with Daws–Yovine inactive clocks dropped
+    to [L = U = -1].  Verdict-preserving either way (both are sound
+    Extra+LU abstractions of the same zone graph); [Location] never
+    stores more zones and typically far fewer. *)
+
+val compile : ?lu:lu -> Ta.Model.t -> t
+(** Compile a network for zone exploration.  [lu] defaults to
+    [Global].
     @raise Unsupported on constraints outside the zone fragment.
     @raise Invalid_argument on the errors {!Ta.Semantics.compile}
     rejects (unknown names, initial invariant violation). *)
@@ -76,8 +86,19 @@ val bad_of : t -> (Ta.Semantics.config -> bool) -> state -> bool
 
 val lu_bounds : t -> (string * int * int) list
 (** Per clock: name, largest lower-bound constant L, largest
-    upper-bound constant U used for Extra_LU ([-1] = the model never
-    compares the clock that way). *)
+    upper-bound constant U — the global maxima, i.e. what [Global]
+    mode extrapolates with ([-1] = the model never compares the clock
+    that way).  For the per-location tables see {!lu_tables}. *)
+
+val lu_mode : t -> lu
+(** The extrapolation mode this network was compiled with. *)
+
+val lu_tables : t -> (string * (string * (string * int * int) list) list) list
+(** The per-location bound tables behind [Location] mode, computed in
+    both modes: every automaton (model order) with every location
+    (model order) and every clock (declaration order) as
+    [(clock, L, U)].  Each entry never exceeds the {!lu_bounds}
+    global pair for its clock. *)
 
 val subsumes : t -> state -> state -> bool
 (** [subsumes t big small]: same discrete part and [big]'s zone

@@ -21,4 +21,5 @@ let () =
       Test_resilience.tests;
       Test_slice.tests;
       Test_zone.tests;
+      Test_lubounds.tests;
     ]
